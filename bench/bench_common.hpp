@@ -1,0 +1,117 @@
+// Shared plumbing for the figure-reproduction harnesses.
+//
+// Every figure binary prints the same three panels the paper plots —
+// average dissipated energy, average delay, distinct-event delivery ratio —
+// for the opportunistic baseline and the greedy aggregation side by side,
+// plus the tx/rx-only energy variant discussed in EXPERIMENTS.md.
+//
+// Scale knobs (paper: 10 fields per point, 400 s per run):
+//   WSN_FIELDS=<n>    fields averaged per point   (default 5)
+//   WSN_SIM_TIME=<s>  simulated seconds per run   (default 200)
+// Machine-readable output: set WSN_CSV=<dir> and each figure harness also
+// appends its series to <dir>/<figure>.csv for plotting (see plots/).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "scenario/sweep.hpp"
+
+namespace wsn::bench {
+
+namespace detail {
+inline FILE*& csv_file() {
+  static FILE* f = nullptr;
+  return f;
+}
+}  // namespace detail
+
+/// Opens <WSN_CSV>/<figure>.csv when the env var is set; no-op otherwise.
+inline void open_csv(const char* figure) {
+  const char* dir = std::getenv("WSN_CSV");
+  if (dir == nullptr) return;
+  const std::string path = std::string(dir) + "/" + figure + ".csv";
+  detail::csv_file() = std::fopen(path.c_str(), "w");
+  if (detail::csv_file() != nullptr) {
+    std::fprintf(detail::csv_file(),
+                 "x,energy_opp,energy_greedy,active_opp,active_greedy,"
+                 "delay_opp,delay_greedy,delivery_opp,delivery_greedy,"
+                 "energy_opp_sem,energy_greedy_sem\n");
+  }
+}
+
+inline void close_csv() {
+  if (detail::csv_file() != nullptr) {
+    std::fclose(detail::csv_file());
+    detail::csv_file() = nullptr;
+  }
+}
+
+struct SweepPoint {
+  std::string label;
+  scenario::AveragedPoint opportunistic;
+  scenario::AveragedPoint greedy;
+};
+
+/// Runs both algorithms on `base` (its `algorithm` field is overwritten).
+inline SweepPoint run_point(std::string label, scenario::ExperimentConfig base,
+                            int fields, std::uint64_t seed0 = 1) {
+  SweepPoint p;
+  p.label = std::move(label);
+  base.algorithm = core::Algorithm::kOpportunistic;
+  p.opportunistic = scenario::run_replicates(base, fields, seed0);
+  base.algorithm = core::Algorithm::kGreedy;
+  p.greedy = scenario::run_replicates(base, fields, seed0);
+  return p;
+}
+
+inline void print_figure_header(const char* figure, const char* description,
+                                int fields, double sim_seconds,
+                                const char* x_label) {
+  std::printf("=== %s: %s ===\n", figure, description);
+  std::printf("fields/point=%d  sim=%.0fs  (paper: 10 fields, energy in "
+              "J/node/received distinct event)\n",
+              fields, sim_seconds);
+  std::printf("%-10s | %-26s | %-26s | %-17s | %-15s\n", x_label,
+              "energy total  opp / greedy", "energy tx+rx  opp / greedy",
+              "delay[s] opp/grdy", "delivery opp/grdy");
+}
+
+inline void print_point(const SweepPoint& p) {
+  const auto& o = p.opportunistic;
+  const auto& g = p.greedy;
+  const double ratio_total =
+      o.energy.mean() > 0 ? g.energy.mean() / o.energy.mean() : 0.0;
+  const double ratio_active =
+      o.active_energy.mean() > 0
+          ? g.active_energy.mean() / o.active_energy.mean()
+          : 0.0;
+  std::printf(
+      "%-10s | %8.5f %8.5f  (%3.0f%%) | %8.5f %8.5f  (%3.0f%%) | "
+      "%7.3f %7.3f   | %6.3f %6.3f\n",
+      p.label.c_str(), o.energy.mean(), g.energy.mean(), ratio_total * 100.0,
+      o.active_energy.mean(), g.active_energy.mean(), ratio_active * 100.0,
+      o.delay.mean(), g.delay.mean(), o.delivery.mean(), g.delivery.mean());
+  if (detail::csv_file() != nullptr) {
+    std::fprintf(detail::csv_file(),
+                 "%s,%.6f,%.6f,%.6f,%.6f,%.4f,%.4f,%.4f,%.4f,%.6f,%.6f\n",
+                 p.label.c_str(), o.energy.mean(), g.energy.mean(),
+                 o.active_energy.mean(), g.active_energy.mean(),
+                 o.delay.mean(), g.delay.mean(), o.delivery.mean(),
+                 g.delivery.mean(), o.energy.sem(), g.energy.sem());
+  }
+}
+
+inline void print_expectation(const char* text) {
+  std::printf("paper-expected shape: %s\n", text);
+}
+
+/// The paper's seven density points: 50..350 nodes in steps of 50.
+inline std::vector<std::size_t> density_sweep() {
+  return {50, 100, 150, 200, 250, 300, 350};
+}
+
+}  // namespace wsn::bench

@@ -1,0 +1,27 @@
+// Figure 5: greedy vs opportunistic aggregation as a function of network
+// density (50..350 nodes, 5 corner sources, 1 corner sink, perfect
+// aggregation, no failures).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wsn;
+  const int fields = scenario::fields_from_env();
+  const double secs = scenario::sim_seconds_from_env(200.0);
+
+  bench::open_csv("fig5_density");
+  bench::print_figure_header(
+      "Figure 5", "impact of network density (static network)", fields, secs,
+      "nodes");
+  for (std::size_t nodes : bench::density_sweep()) {
+    scenario::ExperimentConfig cfg;
+    cfg.field.nodes = nodes;
+    cfg.duration = sim::Time::seconds(secs);
+    bench::print_point(bench::run_point(std::to_string(nodes), cfg, fields));
+  }
+  bench::print_expectation(
+      "(a) energy rises with density for both; greedy ≈ opportunistic at 50 "
+      "nodes, down to ~55% of it at 300-350 (clearest in the tx+rx column); "
+      "(b) delay comparable; (c) delivery ≈ 1 for both.");
+  bench::close_csv();
+  return 0;
+}

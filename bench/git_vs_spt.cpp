@@ -1,0 +1,96 @@
+// Abstract (graph-level) comparison of the greedy incremental tree vs the
+// shortest-path tree, reproducing the Krishnamachari-et-al. observation the
+// paper cites in §1/§6: under the event-radius and random-sources models the
+// GIT's transmission savings over the SPT do not exceed ~20% — while the
+// paper's own *corner* placement yields much larger savings, which is why
+// the packet-level results in Figure 5 can beat that bound.
+#include <cstdio>
+
+#include "net/field.hpp"
+#include "net/topology.hpp"
+#include "scenario/sweep.hpp"
+#include "sim/random.hpp"
+#include "stats/accumulator.hpp"
+#include "trees/aggregation_trees.hpp"
+#include "trees/models.hpp"
+
+namespace {
+
+using namespace wsn;
+
+struct ModelResult {
+  stats::Accumulator savings;  ///< 1 - GIT/SPT, in percent
+  stats::Accumulator git_over_opt;
+};
+
+template <typename MakeInstance>
+ModelResult evaluate(std::size_t nodes, int trials, MakeInstance make,
+                     bool with_optimum) {
+  ModelResult res;
+  sim::Rng rng{77};
+  for (int t = 0; t < trials; ++t) {
+    net::FieldSpec spec;
+    spec.nodes = nodes;
+    const net::Topology topo{net::generate_connected_field(spec, rng),
+                             spec.radio_range_m};
+    const trees::Graph g = trees::graph_from_topology(topo);
+    const trees::AbstractInstance inst = make(topo, rng);
+    if (inst.sources.empty()) continue;
+    const auto spt = trees::shortest_path_tree(g, inst.sink, inst.sources);
+    const auto git =
+        trees::greedy_incremental_tree(g, inst.sink, inst.sources);
+    if (!spt.feasible || !git.feasible || spt.total_weight == 0) continue;
+    res.savings.add((1.0 - git.total_weight / spt.total_weight) * 100.0);
+    if (with_optimum && inst.sources.size() <= 6) {
+      const auto opt = trees::steiner_tree_exact(g, inst.sink, inst.sources);
+      if (opt.feasible && opt.total_weight > 0) {
+        res.git_over_opt.add(git.total_weight / opt.total_weight);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  const int trials = scenario::fields_from_env(20);
+  std::printf("=== GIT vs SPT (abstract tree-level comparison, §1/§6) ===\n");
+  std::printf("trials/point=%d; savings = 1 - GIT/SPT transmissions\n", trials);
+  std::printf("%-6s | %-22s | %-22s | %-22s | %s\n", "nodes",
+              "event-radius  (sav %)", "random-sources (sav %)",
+              "corner placement (sav %)", "GIT/optimal");
+
+  for (std::size_t nodes : {50u, 100u, 150u, 200u, 250u, 300u, 350u}) {
+    const auto er = evaluate(
+        nodes, trials,
+        [](const net::Topology& t, sim::Rng& r) {
+          return trees::make_event_radius_instance(t, 30.0, r);
+        },
+        false);
+    const auto rs = evaluate(
+        nodes, trials,
+        [](const net::Topology& t, sim::Rng& r) {
+          return trees::make_random_sources_instance(t, 5, r);
+        },
+        true);
+    const auto corner = evaluate(
+        nodes, trials,
+        [](const net::Topology& t, sim::Rng& r) {
+          return trees::make_corner_instance(t, 5, {0, 0, 80, 80},
+                                             {164, 164, 200, 200}, r);
+        },
+        false);
+    std::printf("%-6zu | %8.1f ± %-11.1f | %8.1f ± %-11.1f | %8.1f ± %-11.1f | %6.3f\n",
+                nodes, er.savings.mean(), er.savings.stddev(),
+                rs.savings.mean(), rs.savings.stddev(), corner.savings.mean(),
+                corner.savings.stddev(), rs.git_over_opt.mean());
+  }
+  std::printf(
+      "paper-expected shape: event-radius and random-sources savings stay "
+      "under ~20%%; the corner placement (sources far from the sink, close "
+      "to each other) yields much larger savings — the regime where the "
+      "paper's greedy aggregation shines. GIT stays within 2x of the exact "
+      "Steiner optimum (Takahashi-Matsuyama bound).\n");
+  return 0;
+}

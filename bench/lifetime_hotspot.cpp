@@ -1,0 +1,89 @@
+// Traffic concentration and network lifetime (paper §3).
+//
+// The paper warns that aggregated data paths "introduce traffic
+// concentration ... which adversely impacts network lifetime" when the
+// aggregation does not reduce total data size — and argues that with a
+// reasonable reduction the longer-but-shared paths *extend* lifetime
+// because the scarce resource is total energy. This harness measures both
+// sides: the hottest node's energy (lifetime proxy) and the per-node
+// spread, under perfect and under linear aggregation.
+#include <cstdio>
+
+#include "agg/aggregation_fn.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+struct HotspotRow {
+  double max_node = 0.0;
+  double mean_node = 0.0;
+  double stddev_node = 0.0;
+  double delivery = 0.0;
+  double lifetime_days = 0.0;
+};
+
+HotspotRow measure(wsn::core::Algorithm alg, bool linear, int fields,
+                   double secs) {
+  using namespace wsn;
+  HotspotRow row;
+  for (int f = 0; f < fields; ++f) {
+    scenario::ExperimentConfig cfg;
+    cfg.field.nodes = 250;
+    cfg.algorithm = alg;
+    cfg.num_sources = 8;
+    cfg.duration = sim::Time::seconds(secs);
+    cfg.seed = 1 + static_cast<std::uint64_t>(f);
+    if (linear) {
+      cfg.diffusion.aggregation = std::make_shared<agg::LinearAggregation>(28, 36);
+    }
+    const auto res = scenario::run_experiment(cfg);
+    row.max_node += res.energy_max_node_joules;
+    row.mean_node += res.energy_mean_node_joules;
+    row.stddev_node += res.energy_stddev_node_joules;
+    row.delivery += res.metrics.delivery_ratio;
+    // Lifetime proxy: two AA cells ≈ 18.7 kJ.
+    row.lifetime_days += res.first_death_seconds(18700.0, secs) / 86400.0;
+  }
+  row.max_node /= fields;
+  row.mean_node /= fields;
+  row.stddev_node /= fields;
+  row.delivery /= fields;
+  row.lifetime_days /= fields;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wsn;
+  const int fields = scenario::fields_from_env();
+  const double secs = scenario::sim_seconds_from_env(200.0);
+
+  std::printf("=== Traffic concentration & lifetime (250 nodes, 8 corner "
+              "sources) ===\n");
+  std::printf("fields/point=%d sim=%.0fs; lifetime = 18.7 kJ battery / "
+              "hottest-node power\n",
+              fields, secs);
+  std::printf("%-24s | %-10s | %-10s | %-10s | %-9s | %-12s\n", "variant",
+              "max J/node", "mean J/node", "stddev", "delivery",
+              "lifetime[d]");
+  for (bool linear : {false, true}) {
+    for (auto alg :
+         {core::Algorithm::kOpportunistic, core::Algorithm::kGreedy}) {
+      const auto row = measure(alg, linear, fields, secs);
+      char label[64];
+      std::snprintf(label, sizeof label, "%s/%s",
+                    std::string(core::to_string(alg)).c_str(),
+                    linear ? "linear" : "perfect");
+      std::printf("%-24s | %10.3f | %10.3f | %10.3f | %9.3f | %12.1f\n",
+                  label, row.max_node, row.mean_node, row.stddev_node,
+                  row.delivery, row.lifetime_days);
+    }
+  }
+  std::printf("expected: greedy's trunk is busy, but the baseline's "
+              "duplicated corner paths are the worse hotspot — greedy ends "
+              "up with lower mean, lower spread and a cooler hottest node, "
+              "so the first-death lifetime improves (paper §3's favourable "
+              "regime); linear aggregation narrows the gap.\n");
+  return 0;
+}

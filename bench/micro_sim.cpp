@@ -1,0 +1,69 @@
+// Microbenchmarks: discrete-event engine primitives.
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace wsn::sim;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng{1};
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.schedule(Time::nanos(rng.uniform_int(0, 1'000'000)), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  Rng rng{2};
+  for (auto _ : state) {
+    EventQueue q;
+    std::vector<EventHandle> hs;
+    for (int i = 0; i < 10'000; ++i) {
+      hs.push_back(q.schedule(Time::nanos(rng.uniform_int(0, 1'000'000)), [] {}));
+    }
+    for (std::size_t i = 0; i < hs.size(); i += 2) q.cancel(hs[i]);
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int remaining = 100'000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule_in(Time::micros(10), tick);
+    };
+    sim.schedule_in(Time::micros(10), tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_SimulatorSelfScheduling);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng{3};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngUniformInt(benchmark::State& state) {
+  Rng rng{4};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform_int(0, 31));
+}
+BENCHMARK(BM_RngUniformInt);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+# Gnuplot script rendering the paper's figure panels from the CSV sidecars.
+#
+# Produce the CSVs first:
+#   mkdir -p results && WSN_CSV=results ./build/bench/fig5_density ...
+# then:
+#   gnuplot -e "csvdir='results'" plots/plot_figures.gp
+# Output: results/<figure>_{energy,active,delay,delivery}.png
+
+if (!exists("csvdir")) csvdir = "results"
+
+set datafile separator ","
+set key top left
+set grid
+set term pngcairo size 800,520
+
+figures = "fig5_density fig6_failures fig7_random_sources fig8_sinks fig9_sources fig10_linear"
+xlabels = "nodes nodes nodes sinks sources sources"
+
+do for [i=1:words(figures)] {
+  fig = word(figures, i)
+  xl = word(xlabels, i)
+  csv = sprintf("%s/%s.csv", csvdir, fig)
+
+  set xlabel xl
+
+  set output sprintf("%s/%s_energy.png", csvdir, fig)
+  set ylabel "avg dissipated energy [J/node/event]"
+  set title sprintf("%s — total energy (incl. 35 mW idle floor)", fig)
+  plot csv using 1:2:10 with yerrorlines title "opportunistic", \
+       csv using 1:3:11 with yerrorlines title "greedy"
+
+  set output sprintf("%s/%s_active.png", csvdir, fig)
+  set ylabel "tx+rx energy [J/node/event]"
+  set title sprintf("%s — radio-active energy", fig)
+  plot csv using 1:4 with linespoints title "opportunistic", \
+       csv using 1:5 with linespoints title "greedy"
+
+  set output sprintf("%s/%s_delay.png", csvdir, fig)
+  set ylabel "avg delay [s]"
+  set title sprintf("%s — delay", fig)
+  plot csv using 1:6 with linespoints title "opportunistic", \
+       csv using 1:7 with linespoints title "greedy"
+
+  set output sprintf("%s/%s_delivery.png", csvdir, fig)
+  set ylabel "distinct-event delivery ratio"
+  set yrange [0:1.05]
+  set title sprintf("%s — delivery", fig)
+  plot csv using 1:8 with linespoints title "opportunistic", \
+       csv using 1:9 with linespoints title "greedy"
+  unset yrange
+}

@@ -1,0 +1,229 @@
+#include "agg/set_cover.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wsn::agg {
+namespace {
+
+/// Arbitrary-width bitset sized at construction; enough for the small
+/// universes that occur at a node's fan-in.
+class Bits {
+ public:
+  explicit Bits(std::uint32_t n) : n_{n}, words_((n + 63) / 64, 0) {}
+
+  void set(std::uint32_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  [[nodiscard]] bool test(std::uint32_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  [[nodiscard]] std::uint32_t count() const {
+    std::uint32_t c = 0;
+    for (auto w : words_) c += static_cast<std::uint32_t>(__builtin_popcountll(w));
+    return c;
+  }
+  [[nodiscard]] std::uint32_t count_and_not(const Bits& other) const {
+    // |this \ other|
+    std::uint32_t c = 0;
+    for (std::size_t k = 0; k < words_.size(); ++k) {
+      c += static_cast<std::uint32_t>(
+          __builtin_popcountll(words_[k] & ~other.words_[k]));
+    }
+    return c;
+  }
+  void or_with(const Bits& other) {
+    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] |= other.words_[k];
+  }
+  [[nodiscard]] bool is_subset_of(const Bits& other) const {
+    for (std::size_t k = 0; k < words_.size(); ++k) {
+      if ((words_[k] & ~other.words_[k]) != 0) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] bool covers_universe(std::uint32_t n) const {
+    Bits full{n};
+    for (std::uint32_t i = 0; i < n; ++i) full.set(i);
+    return full.is_subset_of(*this);
+  }
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::uint64_t> words_;
+};
+
+std::uint32_t infer_universe(std::span<const WeightedSet> family,
+                             std::uint32_t given) {
+  if (given != 0) return given;
+  std::uint32_t m = 0;
+  for (const auto& s : family) {
+    for (auto e : s.elements) m = std::max(m, e + 1);
+  }
+  return m;
+}
+
+std::vector<Bits> family_masks(std::span<const WeightedSet> family,
+                               std::uint32_t m) {
+  std::vector<Bits> masks;
+  masks.reserve(family.size());
+  for (const auto& s : family) {
+    Bits b{m};
+    for (auto e : s.elements) {
+      assert(e < m && "element outside universe");
+      b.set(e);
+    }
+    masks.push_back(std::move(b));
+  }
+  return masks;
+}
+
+}  // namespace
+
+SetCoverResult greedy_weighted_set_cover(std::span<const WeightedSet> family,
+                                         std::uint32_t universe_size) {
+  const std::uint32_t m = infer_universe(family, universe_size);
+  SetCoverResult result;
+  if (m == 0) {
+    result.covered = true;
+    return result;
+  }
+  const std::vector<Bits> masks = family_masks(family, m);
+
+  Bits covered{m};
+  std::uint32_t covered_count = 0;
+  std::vector<char> chosen(family.size(), 0);
+
+  while (covered_count < m) {
+    // Pick the set minimising weight / |newly covered|.
+    std::size_t best = family.size();
+    double best_ratio = std::numeric_limits<double>::infinity();
+    std::uint32_t best_gain = 0;
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      if (chosen[i]) continue;
+      const std::uint32_t gain = masks[i].count_and_not(covered);
+      if (gain == 0) continue;
+      const double ratio = family[i].weight / static_cast<double>(gain);
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = i;
+        best_gain = gain;
+      }
+    }
+    if (best == family.size()) {
+      // Universe not coverable by this family.
+      result.covered = false;
+      result.total_weight = 0.0;
+      for (std::size_t i = 0; i < family.size(); ++i) {
+        if (chosen[i]) result.chosen.push_back(i);
+      }
+      return result;
+    }
+    chosen[best] = 1;
+    covered.or_with(masks[best]);
+    covered_count += best_gain;
+  }
+
+  // Final step (paper §4.2): drop chosen sets fully covered by the union of
+  // the other chosen sets. Scan from the most expensive down so the
+  // costliest redundancy goes first.
+  std::vector<std::size_t> chosen_idx;
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    if (chosen[i]) chosen_idx.push_back(i);
+  }
+  std::vector<std::size_t> by_weight_desc = chosen_idx;
+  std::sort(by_weight_desc.begin(), by_weight_desc.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (family[a].weight != family[b].weight) {
+                return family[a].weight > family[b].weight;
+              }
+              return a < b;
+            });
+  for (std::size_t candidate : by_weight_desc) {
+    Bits rest{m};
+    for (std::size_t i : chosen_idx) {
+      if (chosen[i] && i != candidate) rest.or_with(masks[i]);
+    }
+    if (masks[candidate].is_subset_of(rest)) chosen[candidate] = 0;
+  }
+
+  result.covered = true;
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    if (chosen[i]) {
+      result.chosen.push_back(i);
+      result.total_weight += family[i].weight;
+    }
+  }
+  return result;
+}
+
+SetCoverResult exact_weighted_set_cover(std::span<const WeightedSet> family,
+                                        std::uint32_t universe_size) {
+  const std::uint32_t m = infer_universe(family, universe_size);
+  assert(m <= 20 && "exact solver limited to universes of <= 20 elements");
+  SetCoverResult result;
+  if (m == 0) {
+    result.covered = true;
+    return result;
+  }
+
+  const std::uint32_t full = (m >= 32) ? 0xffffffffu : ((1u << m) - 1);
+  std::vector<std::uint32_t> set_mask(family.size(), 0);
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    for (auto e : family[i].elements) set_mask[i] |= 1u << e;
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(full + 1, kInf);
+  std::vector<std::int32_t> choice(full + 1, -1);   // set added to reach state
+  std::vector<std::uint32_t> parent(full + 1, 0);   // previous state
+  dp[0] = 0.0;
+  for (std::uint32_t mask = 0; mask <= full; ++mask) {
+    if (dp[mask] == kInf) continue;
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      const std::uint32_t next = mask | set_mask[i];
+      if (next == mask) continue;
+      const double w = dp[mask] + family[i].weight;
+      if (w < dp[next]) {
+        dp[next] = w;
+        choice[next] = static_cast<std::int32_t>(i);
+        parent[next] = mask;
+      }
+    }
+    if (mask == full) break;
+  }
+
+  if (dp[full] == kInf) {
+    result.covered = false;
+    return result;
+  }
+  result.covered = true;
+  result.total_weight = dp[full];
+  for (std::uint32_t cur = full; cur != 0; cur = parent[cur]) {
+    result.chosen.push_back(static_cast<std::size_t>(choice[cur]));
+  }
+  std::sort(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+std::vector<WeightedSet> transform_to_sources(
+    std::span<const WeightedSet> event_sets,
+    std::span<const std::vector<std::uint32_t>> event_sources) {
+  assert(event_sets.size() == event_sources.size());
+  std::vector<WeightedSet> out;
+  out.reserve(event_sets.size());
+  for (std::size_t i = 0; i < event_sets.size(); ++i) {
+    assert(event_sets[i].elements.size() == event_sources[i].size());
+    WeightedSet t;
+    t.elements = event_sources[i];
+    std::sort(t.elements.begin(), t.elements.end());
+    t.elements.erase(std::unique(t.elements.begin(), t.elements.end()),
+                     t.elements.end());
+    const auto original = static_cast<double>(event_sets[i].elements.size());
+    const auto distinct = static_cast<double>(t.elements.size());
+    // w* = w · |S*| / |S| preserves the initial cost ratio w/|S| = w*/|S*|.
+    t.weight = original > 0.0 ? event_sets[i].weight * distinct / original
+                              : event_sets[i].weight;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace wsn::agg

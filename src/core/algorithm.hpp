@@ -1,0 +1,32 @@
+// Algorithm selector + factory for the two diffusion instantiations.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/greedy_node.hpp"
+#include "diffusion/node.hpp"
+
+namespace wsn::core {
+
+/// Which aggregation-tree instantiation a node runs.
+enum class Algorithm {
+  kOpportunistic,  ///< baseline: low-latency tree, opportunistic aggregation
+  kGreedy,         ///< the paper's greedy incremental tree (§4)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kOpportunistic: return "opportunistic";
+    case Algorithm::kGreedy: return "greedy";
+  }
+  return "?";
+}
+
+/// Creates a protocol node of the requested kind.
+std::unique_ptr<diffusion::DiffusionNode> make_diffusion_node(
+    Algorithm algorithm, sim::Simulator& sim, mac::MacBase& mac,
+    net::Vec2 position, const diffusion::DiffusionParams& params,
+    sim::Rng rng, diffusion::MetricsHook* hook);
+
+}  // namespace wsn::core

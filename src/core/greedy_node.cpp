@@ -1,0 +1,194 @@
+#include "core/greedy_node.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "agg/set_cover.hpp"
+#include "sim/logger.hpp"
+
+namespace wsn::core {
+
+using diffusion::DataItem;
+using diffusion::EnergyCost;
+using diffusion::kInfiniteCost;
+using diffusion::MsgId;
+using diffusion::SourceId;
+
+void GreedyNode::sink_on_new_exploratory(MsgId id) {
+  // Delay the decision by T_p; by then the ICMs for this event have
+  // propagated down the existing tree.
+  sim_->schedule_in(params_.t_p, [this, id] {
+    if (mac_->alive()) propagate_reinforcement(id);
+  });
+}
+
+net::NodeId GreedyNode::choose_upstream(MsgId id) const {
+  EnergyCost best_direct = kInfiniteCost;
+  net::NodeId direct_nb = net::kNoNode;
+  auto it = expl_cache().find(id);
+  if (it != expl_cache().end()) {
+    const EnergyCost my_cost = it->second.my_cost();
+    for (const auto& [nb, cost] : it->second.senders) {
+      if (unusable_upstream(nb)) continue;
+      if (cost >= my_cost) continue;  // strict descent: chains cannot loop
+      // Delivering source→nb cost `cost`; nb→me is one more transmission.
+      if (cost + 1 < best_direct) {
+        best_direct = cost + 1;
+        direct_nb = nb;
+      }
+    }
+  }
+
+  EnergyCost best_graft = kInfiniteCost;
+  net::NodeId graft_nb = net::kNoNode;
+  auto icm_it = icm_cache().find(id);
+  if (icm_it != icm_cache().end() && icm_it->second.best_sender != net::kNoNode &&
+      !unusable_upstream(icm_it->second.best_sender)) {
+    best_graft = icm_it->second.best_c;
+    graft_nb = icm_it->second.best_sender;
+  }
+
+  // Lowest energy wins; a tie goes to the exploratory path (paper §4.1).
+  if (best_direct <= best_graft) return direct_nb;
+  return graft_nb;
+}
+
+diffusion::DiffusionNode::FlushDecision GreedyNode::flush_policy(
+    const std::vector<DataItem>& outgoing,
+    const std::vector<IncomingAgg>& window) {
+  FlushDecision d;
+
+  // --- §4.2: price the outgoing aggregate via an event-level cover. ---
+  if (!outgoing.empty()) {
+    std::map<std::uint64_t, std::uint32_t> item_index;
+    for (const DataItem& item : outgoing) {
+      item_index.emplace(item.key.packed(),
+                         static_cast<std::uint32_t>(item_index.size()));
+    }
+    std::vector<agg::WeightedSet> family;
+    family.reserve(window.size());
+    for (const IncomingAgg& in : window) {
+      agg::WeightedSet s;
+      for (const DataItem& item : in.items) {
+        auto idx = item_index.find(item.key.packed());
+        if (idx != item_index.end()) s.elements.push_back(idx->second);
+      }
+      s.weight = static_cast<double>(in.cost);
+      family.push_back(std::move(s));
+    }
+    const auto cover = agg::greedy_weighted_set_cover(
+        family, static_cast<std::uint32_t>(item_index.size()));
+    if (cover.covered) {
+      d.outgoing_cost = static_cast<EnergyCost>(cover.total_weight + 0.5) + 1;
+    } else {
+      // Should not happen (every pending item arrived in some window
+      // aggregate); fall back to the conservative sum.
+      double sum = 0.0;
+      for (const auto& s : family) sum += s.weight;
+      d.outgoing_cost = static_cast<EnergyCost>(sum + 0.5) + 1;
+    }
+  }
+
+  // --- §4.3: truncation cover over *sources*, not events. ---
+  if (!window.empty()) {
+    std::map<SourceId, std::uint32_t> source_index;
+    for (const IncomingAgg& in : window) {
+      for (const DataItem& item : in.items) {
+        source_index.emplace(item.key.source,
+                             static_cast<std::uint32_t>(source_index.size()));
+      }
+    }
+    std::vector<agg::WeightedSet> family;
+    family.reserve(window.size());
+    for (const IncomingAgg& in : window) {
+      agg::WeightedSet s;
+      for (const DataItem& item : in.items) {
+        s.elements.push_back(source_index.at(item.key.source));
+      }
+      std::sort(s.elements.begin(), s.elements.end());
+      s.elements.erase(std::unique(s.elements.begin(), s.elements.end()),
+                       s.elements.end());
+      // w* = w·|S*|/|S| preserves the initial cost ratio (paper §4.3).
+      const double total = static_cast<double>(in.items.size());
+      const double distinct = static_cast<double>(s.elements.size());
+      s.weight = total > 0.0
+                     ? static_cast<double>(in.cost) * distinct / total
+                     : static_cast<double>(in.cost);
+      family.push_back(std::move(s));
+    }
+    const auto cover = agg::greedy_weighted_set_cover(
+        family, static_cast<std::uint32_t>(source_index.size()));
+    for (std::size_t idx : cover.chosen) {
+      d.useful_neighbors.push_back(window[idx].from);
+    }
+    if (sim::Logger::enabled(sim::LogLevel::kTrace)) {
+      for (std::size_t i = 0; i < window.size(); ++i) {
+        const bool chosen = std::find(cover.chosen.begin(), cover.chosen.end(),
+                                      i) != cover.chosen.end();
+        WSN_LOG_AT(sim::LogLevel::kTrace, sim_->now(), "greedy",
+                   "node %u cover: from=%u items=%zu sources=%zu w=%.2f %s",
+                   id(), window[i].from, window[i].items.size(),
+                   family[i].elements.size(), family[i].weight,
+                   chosen ? "CHOSEN" : "-");
+      }
+    }
+    std::sort(d.useful_neighbors.begin(), d.useful_neighbors.end());
+    d.useful_neighbors.erase(
+        std::unique(d.useful_neighbors.begin(), d.useful_neighbors.end()),
+        d.useful_neighbors.end());
+  }
+  return d;
+}
+
+void GreedyNode::on_new_exploratory(const ExplRecord& /*rec*/, MsgId id) {
+  // Only sources already on the tree announce graft costs (paper §4.1).
+  if (!is_active_source() || !has_data_gradient_out()) return;
+  auto& icm = icm_record(id);
+  if (icm.generated) return;
+  icm.generated = true;
+
+  // Give the flood a moment to deliver the cheapest copy before measuring
+  // our delivery cost.
+  sim_->schedule_in(params_.exploratory_jitter, [this, id] {
+    if (!mac_->alive() || !has_data_gradient_out()) return;
+    auto it = expl_cache().find(id);
+    if (it == expl_cache().end()) return;
+    const EnergyCost c = it->second.my_cost();
+    if (c == kInfiniteCost) return;
+    auto& rec_icm = icm_record(id);
+    rec_icm.forwarded_c = std::min(rec_icm.forwarded_c, c);
+    auto msg = std::make_shared<diffusion::IncrementalCostMsg>();
+    msg->exploratory_id = id;
+    msg->new_source = it->second.source;
+    msg->cost_c = c;
+    ++stats_.icm_sent;
+    send_to_data_gradients(std::move(msg), params_.control_bytes);
+  });
+}
+
+void GreedyNode::handle_icm(const diffusion::IncrementalCostMsg& msg,
+                            net::NodeId from) {
+  auto& icm = icm_record(msg.exploratory_id);
+  if (msg.cost_c < icm.best_c) {
+    icm.best_c = msg.cost_c;
+    icm.best_sender = from;
+  }
+
+  // Lower C to our own delivery cost for the same exploratory event
+  // (paper §4.1: C = min(C, E from the cache)), then relay down the tree
+  // if that improves on anything we already relayed.
+  EnergyCost c = msg.cost_c;
+  auto it = expl_cache().find(msg.exploratory_id);
+  if (it != expl_cache().end()) c = std::min(c, it->second.my_cost());
+  if (c < icm.forwarded_c && has_data_gradient_out()) {
+    icm.forwarded_c = c;
+    auto fwd = std::make_shared<diffusion::IncrementalCostMsg>();
+    fwd->exploratory_id = msg.exploratory_id;
+    fwd->new_source = msg.new_source;
+    fwd->cost_c = c;
+    ++stats_.icm_sent;
+    send_to_data_gradients(std::move(fwd), params_.control_bytes);
+  }
+}
+
+}  // namespace wsn::core

@@ -1,0 +1,92 @@
+// Wire messages of the diffusion protocol family.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/types.hpp"
+#include "net/types.hpp"
+#include "net/vec2.hpp"
+
+namespace wsn::diffusion {
+
+enum class MsgType : std::uint8_t {
+  kInterest,
+  kExploratory,
+  kData,
+  kIncrementalCost,
+  kReinforcement,
+  kNegativeReinforcement,
+};
+
+/// Common header for all diffusion messages.
+struct DiffusionMsg : net::Message {
+  MsgType type;
+  explicit DiffusionMsg(MsgType t) : type{t} {}
+};
+
+/// Task description flooded by a sink (paper §2). One task per experiment;
+/// attribute matching reduces to "is this node detecting inside `region`".
+struct InterestMsg final : DiffusionMsg {
+  InterestMsg() : DiffusionMsg(MsgType::kInterest) {}
+  net::NodeId sink = net::kNoNode;
+  std::uint32_t round = 0;      ///< refresh counter, for duplicate suppression
+  net::Rect region;             ///< geographic scope of the sensing task
+  net::Vec2 sender_pos;         ///< rebroadcaster position (directional mode)
+  net::Vec2 sink_pos;           ///< originating sink position (directional)
+};
+
+/// Low-rate event flooded for path establishment (paper §4.1). `cost_e` is
+/// the energy (hop) cost from the source to the **sender** of this copy;
+/// a receiver's own cost is cost_e + 1.
+struct ExploratoryMsg final : DiffusionMsg {
+  ExploratoryMsg() : DiffusionMsg(MsgType::kExploratory) {}
+  MsgId msg_id = 0;
+  SourceId source = net::kNoNode;
+  EventSeq seq = 0;
+  std::int64_t gen_time_ns = 0;
+  EnergyCost cost_e = 0;
+};
+
+/// One distinct event inside an aggregate.
+struct DataItem {
+  DataItemKey key;
+  std::int64_t gen_time_ns = 0;
+};
+
+/// An aggregate of one or more data items (paper §4.2). `cost_e` is the
+/// cumulative energy cost attribute computed via set cover at each hop.
+struct DataMsg final : DiffusionMsg {
+  DataMsg() : DiffusionMsg(MsgType::kData) {}
+  MsgId msg_id = 0;
+  std::vector<DataItem> items;
+  EnergyCost cost_e = 0;
+};
+
+/// Incremental cost message (paper §4.1): announces, down the existing
+/// tree, the extra cost `cost_c` of grafting `new_source`'s exploratory
+/// event `exploratory_id` onto the tree. C only ever decreases en route.
+struct IncrementalCostMsg final : DiffusionMsg {
+  IncrementalCostMsg() : DiffusionMsg(MsgType::kIncrementalCost) {}
+  MsgId exploratory_id = 0;
+  SourceId new_source = net::kNoNode;
+  EnergyCost cost_c = kInfiniteCost;
+};
+
+/// Positive reinforcement: "set a data gradient toward me and pull this
+/// exploratory event's path up" (paper §2, §4.1).
+struct ReinforcementMsg final : DiffusionMsg {
+  ReinforcementMsg() : DiffusionMsg(MsgType::kReinforcement) {}
+  MsgId exploratory_id = 0;
+  /// Repair reinforcements re-propagate even where the local upstream
+  /// choice is unchanged, so a sink can re-pull a whole path after silence.
+  bool force = false;
+};
+
+/// Negative reinforcement: "stop sending me data" (paper §4.3).
+struct NegativeReinforcementMsg final : DiffusionMsg {
+  NegativeReinforcementMsg()
+      : DiffusionMsg(MsgType::kNegativeReinforcement) {}
+};
+
+}  // namespace wsn::diffusion

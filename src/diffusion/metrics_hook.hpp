@@ -1,0 +1,24 @@
+// Observer interface between the protocol layer and metrics collection.
+#pragma once
+
+#include "diffusion/types.hpp"
+#include "sim/time.hpp"
+
+namespace wsn::diffusion {
+
+/// Implemented by the stats layer; the protocol calls these as events are
+/// generated at sources and delivered at sinks.
+class MetricsHook {
+ public:
+  virtual ~MetricsHook() = default;
+
+  virtual void on_event_generated(DataItemKey key, sim::Time gen_time) = 0;
+
+  /// An item arrived at a sink. Called for every arrival; the collector is
+  /// responsible for distinct-event filtering per sink.
+  virtual void on_event_delivered(net::NodeId sink, DataItemKey key,
+                                  sim::Time gen_time,
+                                  sim::Time delivery_time) = 0;
+};
+
+}  // namespace wsn::diffusion

@@ -1,0 +1,712 @@
+#include "diffusion/node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "agg/set_cover.hpp"
+#include "sim/logger.hpp"
+
+namespace wsn::diffusion {
+namespace {
+constexpr std::string_view kTag = "diffusion";
+constexpr std::size_t kMaxSendersTracked = 4;
+}  // namespace
+
+DiffusionNode::DiffusionNode(sim::Simulator& sim, mac::MacBase& mac,
+                             net::Vec2 position,
+                             const DiffusionParams& params, sim::Rng rng,
+                             MetricsHook* hook)
+    : sim_{&sim},
+      mac_{&mac},
+      position_{position},
+      params_{params},
+      rng_{rng},
+      hook_{hook},
+      interest_timer_{sim, [this] { send_interest(); }},
+      exploratory_timer_{sim, [this] { generate_exploratory_event(); }},
+      datagen_timer_{sim, [this] { generate_data_event(); }},
+      flush_timer_{sim, [this] { flush(); }},
+      trunc_timer_{sim, [this] { run_truncation(); }},
+      repair_timer_{sim, [this] { run_repair(); }},
+      housekeeping_timer_{sim, [this] { housekeeping(); }} {
+  mac.set_user(this);
+}
+
+void DiffusionNode::start() {
+  trunc_timer_.arm(params_.t_n + rng_.jitter(params_.t_n));
+  repair_timer_.arm(params_.repair_silence.scaled(0.5) +
+                    rng_.jitter(params_.repair_silence));
+  housekeeping_timer_.arm(sim::Time::seconds(10.0) +
+                          rng_.jitter(sim::Time::seconds(1.0)));
+}
+
+void DiffusionNode::make_sink(net::Rect region) {
+  is_sink_ = true;
+  region_ = region;
+  interest_timer_.arm(rng_.jitter(sim::Time::millis(100)));
+}
+
+void DiffusionNode::set_detecting(bool detecting) { detecting_ = detecting; }
+
+MsgId DiffusionNode::fresh_msg_id() {
+  // Unique across nodes: high bits are the node id, low bits a counter.
+  return (static_cast<MsgId>(id()) << 40) | ++msg_counter_;
+}
+
+// ---------------------------------------------------------------- sending
+
+void DiffusionNode::send_control(net::NodeId dst, net::MessagePtr payload) {
+  net::Frame f;
+  f.dst = dst;
+  f.bytes = params_.control_bytes;
+  f.payload = std::move(payload);
+  mac_->send(std::move(f));
+}
+
+void DiffusionNode::send_reinforcement(net::NodeId to, MsgId id, bool force) {
+  auto msg = std::make_shared<ReinforcementMsg>();
+  msg->exploratory_id = id;
+  msg->force = force;
+  ++stats_.reinforcements_sent;
+  send_control(to, std::move(msg));
+}
+
+void DiffusionNode::send_to_data_gradients(net::MessagePtr payload,
+                                           std::uint32_t bytes) {
+  for (net::NodeId nb : live_data_gradients()) {
+    net::Frame f;
+    f.dst = nb;
+    f.bytes = bytes;
+    f.payload = payload;
+    mac_->send(std::move(f));
+  }
+}
+
+std::vector<net::NodeId> DiffusionNode::live_data_gradients() const {
+  std::vector<net::NodeId> out;
+  const sim::Time now = sim_->now();
+  for (const auto& [nb, g] : gradients_) {
+    if (g.type == GradientType::kData && g.expires > now) out.push_back(nb);
+  }
+  return out;
+}
+
+bool DiffusionNode::has_data_gradient_out() const {
+  return !live_data_gradients().empty();
+}
+
+bool DiffusionNode::is_suspect(net::NodeId nb) const {
+  auto it = suspects_.find(nb);
+  return it != suspects_.end() && it->second > sim_->now();
+}
+
+bool DiffusionNode::unusable_upstream(net::NodeId nb) const {
+  return is_suspect(nb);
+}
+
+void DiffusionNode::cascade_negative_upstream() {
+  const sim::Time now = sim_->now();
+  last_data_in_ = sim::Time::zero();
+  expected_sources_.clear();
+  if (now - last_cascade_ <= params_.t_n && last_cascade_ != sim::Time::zero()) {
+    return;  // damped: at most one upstream teardown per window
+  }
+  last_cascade_ = now;
+  for (auto& [nb, st] : neighbor_data_) {
+    if (st.last_data + params_.t_n > now) {
+      ++stats_.negatives_sent;
+      WSN_LOG_AT(sim::LogLevel::kDebug, now, kTag, "node %u NR(cascade) -> %u",
+                 id(), nb);
+      send_control(nb, std::make_shared<NegativeReinforcementMsg>());
+    }
+  }
+}
+
+std::vector<net::NodeId> DiffusionNode::data_gradient_neighbors() const {
+  return live_data_gradients();
+}
+
+std::vector<std::pair<net::NodeId, GradientType>> DiffusionNode::gradient_view()
+    const {
+  std::vector<std::pair<net::NodeId, GradientType>> v;
+  const sim::Time now = sim_->now();
+  for (const auto& [nb, g] : gradients_) {
+    if (g.expires > now) v.emplace_back(nb, g.type);
+  }
+  return v;
+}
+
+// --------------------------------------------------------------- gradients
+
+void DiffusionNode::refresh_gradient(net::NodeId nb) {
+  auto& g = gradients_[nb];
+  g.expires = sim_->now() + params_.gradient_timeout;
+}
+
+void DiffusionNode::degrade_gradient(net::NodeId nb) {
+  auto it = gradients_.find(nb);
+  if (it != gradients_.end()) it->second.type = GradientType::kExploratory;
+}
+
+// ---------------------------------------------------------------- receive
+
+void DiffusionNode::mac_receive(const net::Frame& frame) {
+  const auto* msg = dynamic_cast<const DiffusionMsg*>(frame.payload.get());
+  if (msg == nullptr) return;
+  switch (msg->type) {
+    case MsgType::kInterest:
+      handle_interest(static_cast<const InterestMsg&>(*msg), frame.src);
+      break;
+    case MsgType::kExploratory:
+      handle_exploratory(static_cast<const ExploratoryMsg&>(*msg), frame.src);
+      break;
+    case MsgType::kData:
+      handle_data(static_cast<const DataMsg&>(*msg), frame.src);
+      break;
+    case MsgType::kIncrementalCost:
+      handle_icm(static_cast<const IncrementalCostMsg&>(*msg), frame.src);
+      break;
+    case MsgType::kReinforcement:
+      handle_reinforcement(static_cast<const ReinforcementMsg&>(*msg),
+                           frame.src);
+      break;
+    case MsgType::kNegativeReinforcement:
+      handle_negative(frame.src);
+      break;
+  }
+}
+
+void DiffusionNode::mac_send_failed(const net::Frame& frame) {
+  // One exhausted unicast can be plain contention; two in a row without a
+  // success in between means the next hop is dead or unreachable.
+  if (++send_failures_[frame.dst] < 2) return;
+  suspects_[frame.dst] = sim_->now() + params_.suspect_hold;
+  auto it = gradients_.find(frame.dst);
+  const bool had_data =
+      it != gradients_.end() && it->second.type == GradientType::kData;
+  if (had_data) {
+    degrade_gradient(frame.dst);
+    if (!has_data_gradient_out() && !is_sink_) {
+      // Orphaned: stop pulling data and tell upstreams to stop sending.
+      cascade_negative_upstream();
+    }
+  }
+}
+
+void DiffusionNode::mac_send_succeeded(const net::Frame& frame) {
+  send_failures_.erase(frame.dst);
+}
+
+// ---------------------------------------------------------------- interest
+
+void DiffusionNode::send_interest() {
+  ++interest_round_;
+  auto msg = std::make_shared<InterestMsg>();
+  msg->sink = id();
+  msg->round = interest_round_;
+  msg->region = region_;
+  msg->sender_pos = position_;
+  msg->sink_pos = position_;
+  ++stats_.interests_sent;
+  interest_rounds_[id()] = interest_round_;
+  net::Frame f;
+  f.dst = net::kBroadcast;
+  f.bytes = params_.control_bytes;
+  f.payload = std::move(msg);
+  mac_->send(std::move(f));
+  interest_timer_.arm(params_.interest_period);
+}
+
+void DiffusionNode::handle_interest(const InterestMsg& msg, net::NodeId from) {
+  refresh_gradient(from);
+  auto [it, inserted] = interest_rounds_.try_emplace(msg.sink, 0);
+  if (!inserted && it->second >= msg.round) return;  // already rebroadcast
+  it->second = msg.round;
+
+  if (detecting_ && !source_active_ && msg.region.contains(position_)) {
+    activate_source();
+  }
+
+  // Directional mode (paper §2): rebroadcast only inside the task region
+  // or within a corridor around the sink→region line, so the interest
+  // travels toward the region instead of flooding the whole field.
+  if (params_.interest_propagation == InterestPropagation::kDirectional &&
+      !msg.region.contains(position_)) {
+    const net::Vec2 region_center{(msg.region.x0 + msg.region.x1) * 0.5,
+                                  (msg.region.y0 + msg.region.y1) * 0.5};
+    if (net::distance_to_segment(position_, msg.sink_pos, region_center) >
+        params_.directional_corridor_m) {
+      return;
+    }
+  }
+
+  // Re-flood after a small random delay, stamping our own position.
+  auto fwd = std::make_shared<InterestMsg>(msg);
+  fwd->sender_pos = position_;
+  auto payload = std::static_pointer_cast<const net::Message>(std::move(fwd));
+  ++stats_.interests_sent;
+  sim_->schedule_in(rng_.jitter(params_.interest_jitter), [this, payload] {
+    if (!mac_->alive()) return;
+    net::Frame f;
+    f.dst = net::kBroadcast;
+    f.bytes = params_.control_bytes;
+    f.payload = payload;
+    mac_->send(std::move(f));
+  });
+}
+
+// ------------------------------------------------------------------ source
+
+bool DiffusionNode::passes_filters(const DataItem& item) const {
+  for (const auto& f : filters_) {
+    if (!f(item)) return false;
+  }
+  return true;
+}
+
+void DiffusionNode::activate_source() {
+  source_active_ = true;
+  // Sources triggered by the same phenomenon sample in near-lockstep
+  // (paper §4.1); align generation to multiples of the event period so
+  // rounds meet at aggregation points instead of straggling by up to a
+  // period. A small jitter keeps their transmissions from colliding.
+  const auto period =
+      sim::Time::seconds(1.0 / params_.data_rate_hz).as_nanos();
+  const std::int64_t to_next_tick = period - sim_->now().as_nanos() % period;
+  datagen_timer_.arm(sim::Time::nanos(to_next_tick) +
+                     rng_.jitter(sim::Time::millis(20)));
+  // Stagger first advertisements so co-triggered sources do not collide.
+  exploratory_timer_.arm(rng_.jitter(sim::Time::seconds(1.0)));
+  WSN_LOG_AT(sim::LogLevel::kInfo, sim_->now(), kTag, "node %u became source",
+             id());
+}
+
+void DiffusionNode::generate_data_event() {
+  datagen_timer_.arm(sim::Time::seconds(1.0 / params_.data_rate_hz));
+  if (!mac_->alive() || !source_active_) return;
+
+  DataItem item;
+  item.key = DataItemKey{id(), next_seq_++};
+  item.gen_time_ns = sim_->now().as_nanos();
+  if (hook_ != nullptr) hook_->on_event_generated(item.key, sim_->now());
+
+  seen_items_[item.key.packed()] = sim_->now();
+  if (passes_filters(item) && pending_keys_.insert(item.key.packed()).second) {
+    pending_.push_back(PendingItem{item, id()});
+  }
+  IncomingAgg self;
+  self.from = id();
+  self.items = {item};
+  self.cost = 0;
+  self.had_new_items = true;
+  window_aggs_.push_back(std::move(self));
+
+  flush_timer_.arm_if_idle(params_.t_a);
+  maybe_early_flush();
+}
+
+void DiffusionNode::generate_exploratory_event() {
+  exploratory_timer_.arm(params_.exploratory_period);
+  if (!mac_->alive() || !source_active_) return;
+  send_exploratory_now();
+}
+
+void DiffusionNode::send_exploratory_now() {
+  auto msg = std::make_shared<ExploratoryMsg>();
+  msg->msg_id = fresh_msg_id();
+  msg->source = id();
+  msg->seq = next_seq_++;
+  msg->gen_time_ns = sim_->now().as_nanos();
+  msg->cost_e = 0;
+  if (hook_ != nullptr) {
+    hook_->on_event_generated(DataItemKey{id(), msg->seq}, sim_->now());
+  }
+
+  // Cache our own event so reinforcement chains terminate here.
+  ExplRecord rec;
+  rec.source = id();
+  rec.seq = msg->seq;
+  rec.gen_time_ns = msg->gen_time_ns;
+  rec.first_seen = sim_->now();
+  rec.forward_scheduled = true;
+  expl_cache_.emplace(msg->msg_id, std::move(rec));
+
+  ++stats_.exploratory_sent;
+  net::Frame f;
+  f.dst = net::kBroadcast;
+  f.bytes = params_.event_bytes;
+  f.payload = std::move(msg);
+  mac_->send(std::move(f));
+}
+
+// ------------------------------------------------------------- exploratory
+
+void DiffusionNode::handle_exploratory(const ExploratoryMsg& msg,
+                                       net::NodeId from) {
+  auto [it, first] = expl_cache_.try_emplace(msg.msg_id);
+  ExplRecord& rec = it->second;
+  if (first) {
+    rec.source = msg.source;
+    rec.seq = msg.seq;
+    rec.gen_time_ns = msg.gen_time_ns;
+    rec.first_seen = sim_->now();
+  }
+  if (rec.source == id()) return;  // echo of our own event
+
+  // Track the sender and the cost its copy carried.
+  bool known_sender = false;
+  for (auto& [nb, c] : rec.senders) {
+    if (nb == from) {
+      c = std::min(c, msg.cost_e);
+      known_sender = true;
+      break;
+    }
+  }
+  if (!known_sender && rec.senders.size() < kMaxSendersTracked) {
+    rec.senders.emplace_back(from, msg.cost_e);
+  }
+
+  if (!first) return;
+
+  // Sinks consume the event (it is a real, low-rate event).
+  if (is_sink_ && hook_ != nullptr) {
+    seen_items_[DataItemKey{rec.source, rec.seq}.packed()] = sim_->now();
+    hook_->on_event_delivered(id(), DataItemKey{rec.source, rec.seq},
+                              sim::Time::nanos(rec.gen_time_ns), sim_->now());
+  }
+
+  // Re-flood once, after a jitter, carrying our own cost E (paper §4.1:
+  // add the transmission cost before resending). Exploratory events follow
+  // gradients: a node nobody tasked (no gradient at all — possible under
+  // directional interests) does not forward them.
+  if (!rec.forward_scheduled && !gradients_.empty()) {
+    rec.forward_scheduled = true;
+    const MsgId mid = msg.msg_id;
+    sim_->schedule_in(rng_.jitter(params_.exploratory_jitter), [this, mid] {
+      if (!mac_->alive()) return;
+      auto it2 = expl_cache_.find(mid);
+      if (it2 == expl_cache_.end()) return;
+      auto fwd = std::make_shared<ExploratoryMsg>();
+      fwd->msg_id = mid;
+      fwd->source = it2->second.source;
+      fwd->seq = it2->second.seq;
+      fwd->gen_time_ns = it2->second.gen_time_ns;
+      fwd->cost_e = it2->second.my_cost();
+      ++stats_.exploratory_sent;
+      net::Frame f;
+      f.dst = net::kBroadcast;
+      f.bytes = params_.event_bytes;
+      f.payload = std::move(fwd);
+      mac_->send(std::move(f));
+    });
+  }
+
+  on_new_exploratory(rec, msg.msg_id);
+  if (is_sink_) sink_on_new_exploratory(msg.msg_id);
+}
+
+// ----------------------------------------------------------- reinforcement
+
+void DiffusionNode::propagate_reinforcement(MsgId id_of_expl, bool force) {
+  auto it = expl_cache_.find(id_of_expl);
+  if (it == expl_cache_.end()) return;
+  ExplRecord& rec = it->second;
+  if (rec.source == id()) return;  // we are the origin; tree complete
+  const net::NodeId up = choose_upstream(id_of_expl);
+  if (up == net::kNoNode) return;
+  if (up == rec.last_upstream && !force) return;
+  rec.last_upstream = up;
+  send_reinforcement(up, id_of_expl, force);
+}
+
+void DiffusionNode::handle_reinforcement(const ReinforcementMsg& msg,
+                                         net::NodeId from) {
+  WSN_LOG_AT(sim::LogLevel::kTrace, sim_->now(), kTag,
+             "node %u reinforced by %u (msg %llu)", id(), from,
+             static_cast<unsigned long long>(msg.exploratory_id));
+  auto& g = gradients_[from];
+  g.type = GradientType::kData;
+  g.expires = sim_->now() + params_.gradient_timeout;
+  propagate_reinforcement(msg.exploratory_id, msg.force);
+}
+
+void DiffusionNode::handle_negative(net::NodeId from) {
+  WSN_LOG_AT(sim::LogLevel::kDebug, sim_->now(), kTag,
+             "node %u negatively reinforced by %u", id(), from);
+  degrade_gradient(from);
+  if (!has_data_gradient_out() && !is_sink_) {
+    // All downstream demand gone: stop expecting data and cascade upstream.
+    cascade_negative_upstream();
+  }
+}
+
+// -------------------------------------------------------------------- data
+
+void DiffusionNode::handle_data(const DataMsg& msg, net::NodeId from) {
+  if (!seen_data_msgs_.try_emplace(msg.msg_id, sim_->now()).second) {
+    return;  // duplicate (e.g. MAC retransmission after a lost ACK)
+  }
+  ++stats_.aggregates_received;
+  const sim::Time now = sim_->now();
+  auto [ns_it, fresh_feeder] = neighbor_data_.try_emplace(from);
+  auto& nstate = ns_it->second;
+  nstate.last_data = now;
+  // Grace window: a brand-new feeder is treated as useful until it has had
+  // one full truncation window to prove itself, so path hand-overs are not
+  // negged mid-transition.
+  if (fresh_feeder) nstate.last_useful = now;
+  last_data_in_ = now;
+
+  IncomingAgg rec;
+  rec.from = from;
+  rec.items = msg.items;
+  rec.cost = msg.cost_e;
+  for (const DataItem& item : msg.items) {
+    const bool is_new = seen_items_.try_emplace(item.key.packed(), now).second;
+    if (!is_new) continue;
+    rec.had_new_items = true;
+    if (is_sink_) {
+      last_source_item_[item.key.source] = now;
+      if (hook_ != nullptr) {
+        hook_->on_event_delivered(id(), item.key,
+                                  sim::Time::nanos(item.gen_time_ns), now);
+      }
+    }
+    if (passes_filters(item) &&
+        pending_keys_.insert(item.key.packed()).second) {
+      pending_.push_back(PendingItem{item, from});
+    }
+  }
+  window_aggs_.push_back(std::move(rec));
+
+  if (!is_aggregation_point()) {
+    flush();
+    return;
+  }
+  flush_timer_.arm_if_idle(params_.t_a);
+  maybe_early_flush();
+}
+
+bool DiffusionNode::is_aggregation_point() const {
+  // ≥ 2 distinct recent data feeders (self counts as one for sources).
+  const sim::Time horizon = sim_->now() - params_.t_n;
+  int feeders = source_active_ ? 1 : 0;
+  for (const auto& [nb, st] : neighbor_data_) {
+    if (st.last_data > horizon) ++feeders;
+    if (feeders >= 2) return true;
+  }
+  return false;
+}
+
+void DiffusionNode::maybe_early_flush() {
+  if (expected_sources_.empty() || pending_.empty()) return;
+  // Flush as soon as everything we forwarded last time is present again
+  // (paper §4.2: enough data ⇒ no further delay).
+  std::set<SourceId> have;
+  for (const PendingItem& p : pending_) have.insert(p.item.key.source);
+  for (SourceId s : expected_sources_) {
+    if (!have.contains(s)) return;
+  }
+  flush();
+}
+
+void DiffusionNode::flush() {
+  flush_timer_.cancel();
+  if (window_aggs_.empty() && pending_.empty()) return;
+
+  std::vector<IncomingAgg> window = std::move(window_aggs_);
+  window_aggs_.clear();
+  std::vector<PendingItem> outgoing = std::move(pending_);
+  pending_.clear();
+  pending_keys_.clear();
+
+  std::vector<DataItem> union_items;
+  union_items.reserve(outgoing.size());
+  for (const PendingItem& p : outgoing) union_items.push_back(p.item);
+
+  const FlushDecision decision = flush_policy(union_items, window);
+  const sim::Time now = sim_->now();
+  for (net::NodeId nb : decision.useful_neighbors) {
+    if (nb != id()) neighbor_data_[nb].last_useful = now;
+  }
+
+  if (union_items.empty()) return;
+  if (is_sink_ && !has_data_gradient_out()) return;  // consumed here
+
+  const auto gradients = live_data_gradients();
+  bool sent_any = false;
+  if (!gradients.empty()) {
+    expected_sources_.clear();
+    for (const DataItem& item : union_items) {
+      expected_sources_.insert(item.key.source);
+    }
+    // Split horizon: each downstream neighbour gets every pending item
+    // except the ones it delivered to us itself — this keeps items (and
+    // therefore set-cover weight) from circulating around gradient cycles.
+    for (net::NodeId nb : gradients) {
+      auto msg = std::make_shared<DataMsg>();
+      for (const PendingItem& p : outgoing) {
+        if (p.from != nb) msg->items.push_back(p.item);
+      }
+      if (msg->items.empty()) continue;
+      // An in-use link keeps itself alive: dead next hops are torn down by
+      // the MAC failure callback and useless ones by negative
+      // reinforcement, so expiry only needs to reap *idle* gradients.
+      gradients_[nb].expires = now + params_.gradient_timeout;
+      msg->msg_id = fresh_msg_id();
+      msg->cost_e = decision.outgoing_cost;
+      const std::uint32_t bytes =
+          params_.aggregation->size_bytes(msg->items.size());
+      ++stats_.data_sent;
+      net::Frame f;
+      f.dst = nb;
+      f.bytes = bytes;
+      f.payload = std::static_pointer_cast<const net::Message>(std::move(msg));
+      mac_->send(std::move(f));
+      sent_any = true;
+    }
+  }
+  if (!sent_any) {
+    // No downstream at all, or every gradient points back at the items'
+    // own provider (a split-horizon black hole). Either way this node is
+    // not delivering: shed the demand and, if we are a source, re-advertise.
+    stats_.items_dropped_no_gradient += union_items.size();
+    WSN_LOG_AT(sim::LogLevel::kDebug, now, kTag,
+               "node %u dropped %zu items (no usable gradient, source=%d)",
+               id(), union_items.size(), source_active_ ? 1 : 0);
+    cascade_negative_upstream();
+    if (source_active_ &&
+        now - last_orphan_exploratory_ > params_.interest_period) {
+      last_orphan_exploratory_ = now;
+      send_exploratory_now();
+    }
+  }
+}
+
+// ------------------------------------------------------------- maintenance
+
+void DiffusionNode::run_truncation() {
+  trunc_timer_.arm(params_.t_n);
+  if (!mac_->alive() || !params_.enable_truncation) return;
+  // Aggregates awaiting their flush have not had their usefulness judged
+  // yet; evaluate them first so fresh feeders are not negged prematurely.
+  if (!window_aggs_.empty()) flush();
+  const sim::Time now = sim_->now();
+  for (auto& [nb, st] : neighbor_data_) {
+    const bool still_sending = st.last_data + params_.t_n > now;
+    const bool was_useful = st.last_useful + params_.t_n > now;
+    if (still_sending && !was_useful) {
+      ++stats_.negatives_sent;
+      WSN_LOG_AT(sim::LogLevel::kDebug, now, kTag, "node %u NR(trunc) -> %u",
+                 id(), nb);
+      send_control(nb, std::make_shared<NegativeReinforcementMsg>());
+      // Reset the clock so the neighbour gets a full window to improve.
+      st.last_useful = now;
+    }
+  }
+}
+
+void DiffusionNode::run_repair() {
+  repair_timer_.arm(params_.repair_silence.scaled(0.5));
+  if (!mac_->alive()) return;
+  // Only the data *consumer* drives repair. Letting every on-tree node
+  // re-pull after silence re-animates abandoned branches and fights the
+  // truncation rule; the sink's forced reinforcement rebuilds the whole
+  // path, routing around suspects marked by failed unicasts en route.
+  if (!is_sink_) return;
+  const sim::Time now = sim_->now();
+  if (now - last_repair_ <= params_.repair_silence) return;
+
+  // Re-pull each advertised source that has gone silent, via the best
+  // cached upstream. Silence is measured per source so one live path does
+  // not mask another's breakage.
+  const sim::Time fresh_horizon = now - params_.exploratory_period * 2;
+  // Latest advertisement per silent source.
+  std::unordered_map<SourceId, std::pair<MsgId, sim::Time>> latest;
+  for (auto& [mid, rec] : expl_cache_) {
+    if (rec.source == id() || rec.first_seen < fresh_horizon) continue;
+    const auto ls = last_source_item_.find(rec.source);
+    const sim::Time last_heard =
+        ls == last_source_item_.end() ? rec.first_seen : ls->second;
+    if (now - last_heard <= params_.repair_silence) continue;
+    auto [lit, inserted] = latest.try_emplace(rec.source, mid, rec.first_seen);
+    if (!inserted && rec.first_seen > lit->second.second) {
+      lit->second = {mid, rec.first_seen};
+    }
+  }
+  for (const auto& [source, pick] : latest) {
+    ++stats_.repairs_attempted;
+    propagate_reinforcement(pick.first, /*force=*/true);
+  }
+  if (!latest.empty()) last_repair_ = now;
+}
+
+void DiffusionNode::housekeeping() {
+  housekeeping_timer_.arm(sim::Time::seconds(10.0));
+  const sim::Time now = sim_->now();
+
+  std::erase_if(seen_items_,
+                [&](const auto& kv) { return kv.second + params_.cache_ttl < now; });
+  std::erase_if(seen_data_msgs_,
+                [&](const auto& kv) { return kv.second + params_.cache_ttl < now; });
+  const sim::Time expl_ttl = params_.exploratory_period * 2 +
+                             sim::Time::seconds(10.0);
+  std::erase_if(expl_cache_, [&](const auto& kv) {
+    return kv.second.first_seen + expl_ttl < now;
+  });
+  // ICM state is keyed by exploratory msg id; drop it with its event.
+  std::erase_if(icm_cache_, [&](const auto& kv) {
+    return !expl_cache_.contains(kv.first);
+  });
+  std::erase_if(gradients_,
+                [&](const auto& kv) { return kv.second.expires <= now; });
+  std::erase_if(suspects_,
+                [&](const auto& kv) { return kv.second <= now; });
+  std::erase_if(send_failures_, [&](const auto& kv) {
+    return !is_suspect(kv.first) && kv.second >= 2;
+  });
+  std::erase_if(neighbor_data_, [&](const auto& kv) {
+    return kv.second.last_data + params_.t_n * 4 < now;
+  });
+}
+
+// ======================================================= OpportunisticNode
+
+void OpportunisticNode::sink_on_new_exploratory(MsgId id) {
+  // Paper §2: reinforce the neighbour that delivered the previously-unseen
+  // exploratory event — the empirically lowest-delay path — immediately.
+  propagate_reinforcement(id);
+}
+
+net::NodeId OpportunisticNode::choose_upstream(MsgId id) const {
+  auto it = expl_cache().find(id);
+  if (it == expl_cache().end()) return net::kNoNode;
+  const ExplRecord& rec = it->second;
+  const diffusion::EnergyCost my_cost = rec.my_cost();
+  for (const auto& [nb, cost] : rec.senders) {
+    // Arrival order = empirically low delay. The strict cost bound keeps
+    // the chain descending toward the source so reinforcement cannot loop.
+    if (!unusable_upstream(nb) && cost < my_cost) return nb;
+  }
+  return net::kNoNode;
+}
+
+DiffusionNode::FlushDecision OpportunisticNode::flush_policy(
+    const std::vector<DataItem>& /*outgoing*/,
+    const std::vector<IncomingAgg>& window) {
+  // No energy-cost accounting; a neighbour was useful if it delivered at
+  // least one previously-unseen item this window.
+  FlushDecision d;
+  for (const IncomingAgg& agg : window) {
+    if (agg.had_new_items && agg.from != id()) {
+      d.useful_neighbors.push_back(agg.from);
+    }
+  }
+  std::sort(d.useful_neighbors.begin(), d.useful_neighbors.end());
+  d.useful_neighbors.erase(
+      std::unique(d.useful_neighbors.begin(), d.useful_neighbors.end()),
+      d.useful_neighbors.end());
+  return d;
+}
+
+}  // namespace wsn::diffusion

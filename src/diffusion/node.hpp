@@ -1,0 +1,314 @@
+// Directed-diffusion protocol node (paper §2) with aggregation (§3).
+//
+// `DiffusionNode` implements everything both instantiations share:
+// interest flooding, gradient maintenance, exploratory-event flooding with
+// the energy-cost attribute, the data cache, T_a-delayed aggregation,
+// reinforcement propagation, negative reinforcement, and reinforcement-based
+// local repair. The policy points where the two instantiations differ are
+// virtual:
+//   * what a sink does with a previously-unseen exploratory event,
+//   * which upstream neighbour a reinforcement is propagated to,
+//   * how an outgoing aggregate is priced and which incoming aggregates
+//     count as "useful" for truncation,
+//   * what happens with incremental-cost messages.
+// `OpportunisticNode` (this module) reinforces the empirically-lowest-delay
+// path immediately; `GreedyNode` (src/core) builds the greedy incremental
+// tree of §4.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "diffusion/messages.hpp"
+#include "diffusion/metrics_hook.hpp"
+#include "diffusion/types.hpp"
+#include "mac/mac_base.hpp"
+#include "net/types.hpp"
+#include "net/vec2.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace wsn::diffusion {
+
+/// Per-node protocol counters.
+struct ProtocolStats {
+  std::uint64_t interests_sent = 0;
+  std::uint64_t exploratory_sent = 0;
+  std::uint64_t data_sent = 0;
+  std::uint64_t icm_sent = 0;
+  std::uint64_t reinforcements_sent = 0;
+  std::uint64_t negatives_sent = 0;
+  std::uint64_t repairs_attempted = 0;
+  std::uint64_t items_dropped_no_gradient = 0;
+  std::uint64_t aggregates_received = 0;
+};
+
+class DiffusionNode : public mac::MacUser {
+ public:
+  DiffusionNode(sim::Simulator& sim, mac::MacBase& mac, net::Vec2 position,
+                const DiffusionParams& params, sim::Rng rng,
+                MetricsHook* hook);
+  ~DiffusionNode() override = default;
+
+  DiffusionNode(const DiffusionNode&) = delete;
+  DiffusionNode& operator=(const DiffusionNode&) = delete;
+
+  /// Makes this node a sink for the task covering `region` and starts its
+  /// periodic interest flood.
+  void make_sink(net::Rect region);
+
+  /// Marks the node's sensor as detecting a phenomenon. It becomes an
+  /// active source when a matching interest arrives (paper §2: sensing
+  /// circuitry wakes up on task receipt).
+  void set_detecting(bool detecting);
+
+  /// Starts periodic maintenance (truncation / repair / cache pruning).
+  /// Call once after construction, before Simulator::run.
+  void start();
+
+  /// Application-specific in-network processing hook (paper §2: nodes
+  /// "trigger application-specific filters"). Every data item entering this
+  /// node's forwarding pipeline — received or self-generated — is offered
+  /// to each filter; returning false drops it (suppression). Filters do
+  /// not affect what a sink *records*, only what it forwards.
+  using ItemFilter = std::function<bool(const DataItem&)>;
+  void add_item_filter(ItemFilter filter) {
+    filters_.push_back(std::move(filter));
+  }
+
+  // --- inspection (tests, tree extraction, examples) ---
+  [[nodiscard]] net::NodeId id() const { return mac_->id(); }
+  [[nodiscard]] bool is_sink() const { return is_sink_; }
+  [[nodiscard]] bool is_active_source() const { return source_active_; }
+  [[nodiscard]] const ProtocolStats& stats() const { return stats_; }
+  /// Neighbours we currently hold a *data* gradient toward (our downstream
+  /// next hops on the aggregation tree).
+  [[nodiscard]] std::vector<net::NodeId> data_gradient_neighbors() const;
+  /// All gradients (neighbour, type) for debugging/visualisation.
+  [[nodiscard]] std::vector<std::pair<net::NodeId, GradientType>> gradient_view()
+      const;
+
+  // --- MacUser ---
+  void mac_receive(const net::Frame& frame) final;
+  void mac_send_failed(const net::Frame& frame) final;
+  void mac_send_succeeded(const net::Frame& frame) final;
+
+ protected:
+  struct Gradient {
+    GradientType type = GradientType::kExploratory;
+    sim::Time expires;
+  };
+
+  /// What we remember about one exploratory event.
+  struct ExplRecord {
+    SourceId source = net::kNoNode;
+    EventSeq seq = 0;
+    std::int64_t gen_time_ns = 0;
+    sim::Time first_seen;
+    /// Senders that delivered this event, in arrival order, with the cost
+    /// attribute each copy carried (capped; enough for repair fallbacks).
+    std::vector<std::pair<net::NodeId, EnergyCost>> senders;
+    net::NodeId last_upstream = net::kNoNode;  ///< whom we last reinforced
+    bool forward_scheduled = false;
+
+    [[nodiscard]] EnergyCost best_received_cost() const {
+      EnergyCost best = kInfiniteCost;
+      for (const auto& [nb, c] : senders) best = std::min(best, c);
+      return best;
+    }
+    /// Energy cost of delivering this event to *this* node.
+    [[nodiscard]] EnergyCost my_cost() const {
+      const EnergyCost b = best_received_cost();
+      return b == kInfiniteCost ? kInfiniteCost : b + 1;
+    }
+  };
+
+  /// Incremental-cost state per exploratory msg id (greedy only, but kept
+  /// here so the local reinforcement rule can see it uniformly).
+  struct IcmRecord {
+    EnergyCost best_c = kInfiniteCost;     ///< lowest received C
+    net::NodeId best_sender = net::kNoNode;
+    EnergyCost forwarded_c = kInfiniteCost;
+    bool generated = false;  ///< we generated an ICM for this event
+  };
+
+  /// One aggregate received (or self-generated) since the last flush.
+  struct IncomingAgg {
+    net::NodeId from = net::kNoNode;  ///< == id() for self-generated items
+    std::vector<DataItem> items;
+    EnergyCost cost = 0;
+    bool had_new_items = false;
+  };
+
+  /// How a flush prices the outgoing aggregate and which neighbours were
+  /// useful this round (for §4.3 truncation).
+  struct FlushDecision {
+    EnergyCost outgoing_cost = 0;
+    std::vector<net::NodeId> useful_neighbors;
+  };
+
+  // --- policy points ---
+  virtual void sink_on_new_exploratory(MsgId id) = 0;
+  /// Local reinforcement rule: pick the upstream neighbour for `id`,
+  /// skipping `suspect` neighbours; kNoNode if no viable option.
+  [[nodiscard]] virtual net::NodeId choose_upstream(MsgId id) const = 0;
+  virtual FlushDecision flush_policy(const std::vector<DataItem>& outgoing,
+                                     const std::vector<IncomingAgg>& window) = 0;
+  virtual void on_new_exploratory(const ExplRecord& rec, MsgId id) {
+    (void)rec;
+    (void)id;
+  }
+  virtual void handle_icm(const IncrementalCostMsg& msg, net::NodeId from) {
+    (void)msg;
+    (void)from;
+  }
+
+  // --- shared machinery available to subclasses ---
+  void send_control(net::NodeId dst, net::MessagePtr payload);
+  void send_reinforcement(net::NodeId to, MsgId id, bool force = false);
+  /// Applies the local reinforcement rule for exploratory event `id_of_expl`
+  /// and forwards the reinforcement upstream if the choice changed (or
+  /// unconditionally when `force` — used by sink-driven path repair).
+  void propagate_reinforcement(MsgId id_of_expl, bool force = false);
+  /// True when `nb` must not be chosen as an upstream (currently:
+  /// blacklisted after a MAC-level send failure). Combined with the strict
+  /// cost-descent rule in choose_upstream, reinforcement chains cannot
+  /// loop: each hop's delivery cost strictly decreases toward the source.
+  [[nodiscard]] bool unusable_upstream(net::NodeId nb) const;
+  /// Floods one exploratory event now (also used by orphaned sources to
+  /// trigger path re-establishment without waiting a full period).
+  void send_exploratory_now();
+  void send_to_data_gradients(net::MessagePtr payload, std::uint32_t bytes);
+  [[nodiscard]] bool has_data_gradient_out() const;
+  [[nodiscard]] bool is_suspect(net::NodeId nb) const;
+  [[nodiscard]] MsgId fresh_msg_id();
+  [[nodiscard]] const std::unordered_map<MsgId, ExplRecord>& expl_cache() const {
+    return expl_cache_;
+  }
+  [[nodiscard]] const std::unordered_map<MsgId, IcmRecord>& icm_cache() const {
+    return icm_cache_;
+  }
+  IcmRecord& icm_record(MsgId id) { return icm_cache_[id]; }
+
+  sim::Simulator* sim_;
+  mac::MacBase* mac_;
+  net::Vec2 position_;
+  DiffusionParams params_;
+  sim::Rng rng_;
+  MetricsHook* hook_;
+  ProtocolStats stats_;
+
+ private:
+  // message handlers
+  void handle_interest(const InterestMsg& msg, net::NodeId from);
+  void handle_exploratory(const ExploratoryMsg& msg, net::NodeId from);
+  void handle_data(const DataMsg& msg, net::NodeId from);
+  void handle_reinforcement(const ReinforcementMsg& msg, net::NodeId from);
+  void handle_negative(net::NodeId from);
+
+  // periodic actions
+  void send_interest();
+  void generate_data_event();
+  void generate_exploratory_event();
+  void flush();
+  void run_truncation();
+  void run_repair();
+  void housekeeping();
+
+  void activate_source();
+  [[nodiscard]] bool passes_filters(const DataItem& item) const;
+  void refresh_gradient(net::NodeId nb);
+  void degrade_gradient(net::NodeId nb);
+  void maybe_early_flush();
+  [[nodiscard]] bool is_aggregation_point() const;
+  [[nodiscard]] std::vector<net::NodeId> live_data_gradients() const;
+
+  // roles
+  bool is_sink_ = false;
+  net::Rect region_;
+  std::uint32_t interest_round_ = 0;
+  bool detecting_ = false;
+  bool source_active_ = false;
+  EventSeq next_seq_ = 0;
+
+  // gradient state: neighbour -> gradient toward the sink side
+  std::map<net::NodeId, Gradient> gradients_;
+  // interest duplicate suppression: sink -> highest round rebroadcast
+  std::unordered_map<net::NodeId, std::uint32_t> interest_rounds_;
+
+  // caches
+  std::unordered_map<MsgId, ExplRecord> expl_cache_;
+  std::unordered_map<MsgId, IcmRecord> icm_cache_;
+  std::unordered_map<std::uint64_t, sim::Time> seen_items_;  // packed key
+  std::unordered_map<MsgId, sim::Time> seen_data_msgs_;
+
+  // aggregation buffer; `from` tracks which neighbour delivered the item
+  // (== id() for self-generated) so flushes are split-horizon: an item is
+  // never sent back to the neighbour it came from.
+  struct PendingItem {
+    DataItem item;
+    net::NodeId from;
+  };
+  std::vector<PendingItem> pending_;
+  std::unordered_set<std::uint64_t> pending_keys_;
+  std::vector<IncomingAgg> window_aggs_;
+  std::set<SourceId> expected_sources_;  ///< sources in last outgoing aggregate
+
+  // truncation / repair bookkeeping
+  struct NeighborDataState {
+    sim::Time last_data;
+    sim::Time last_useful;
+  };
+  std::map<net::NodeId, NeighborDataState> neighbor_data_;
+  std::unordered_map<net::NodeId, sim::Time> suspects_;
+  // Consecutive MAC retry-exhaustions per next hop; one transient failure
+  // under contention must not tear a working path down.
+  std::unordered_map<net::NodeId, int> send_failures_;
+  // Sink only: when each source last delivered a data item here; drives
+  // per-source path repair.
+  std::unordered_map<SourceId, sim::Time> last_source_item_;
+  sim::Time last_data_in_ = sim::Time::zero();
+  sim::Time last_repair_ = sim::Time::zero();
+  sim::Time last_cascade_ = sim::Time::zero();
+  sim::Time last_orphan_exploratory_ = sim::Time::zero();
+
+  /// Tears down demand toward upstreams after we lost all downstream data
+  /// gradients; rate-limited to once per T_n to damp cascade storms.
+  void cascade_negative_upstream();
+
+  // application-level forwarding filters
+  std::vector<ItemFilter> filters_;
+
+  // timers
+  sim::Timer interest_timer_;
+  sim::Timer exploratory_timer_;
+  sim::Timer datagen_timer_;
+  sim::Timer flush_timer_;
+  sim::Timer trunc_timer_;
+  sim::Timer repair_timer_;
+  sim::Timer housekeeping_timer_;
+
+  std::uint64_t msg_counter_ = 0;
+};
+
+/// The baseline instantiation (paper §2/§5 "opportunistic aggregation"):
+/// reinforce the neighbour that delivered a previously-unseen exploratory
+/// event first — an empirically low-delay tree — and aggregate only where
+/// paths happen to overlap.
+class OpportunisticNode final : public DiffusionNode {
+ public:
+  using DiffusionNode::DiffusionNode;
+
+ protected:
+  void sink_on_new_exploratory(MsgId id) override;
+  [[nodiscard]] net::NodeId choose_upstream(MsgId id) const override;
+  FlushDecision flush_policy(const std::vector<DataItem>& outgoing,
+                             const std::vector<IncomingAgg>& window) override;
+};
+
+}  // namespace wsn::diffusion

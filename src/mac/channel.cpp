@@ -1,0 +1,33 @@
+#include "mac/channel.hpp"
+
+#include <utility>
+
+#include "mac/mac_base.hpp"
+
+namespace wsn::mac {
+
+TransmissionPtr Channel::begin_transmission(net::NodeId src, net::Frame frame,
+                                            FrameKind kind,
+                                            sim::Time airtime) {
+  auto tx = std::make_shared<Transmission>();
+  tx->frame = std::move(frame);
+  tx->kind = kind;
+  tx->start = sim_->now();
+  tx->end = tx->start + airtime;
+  tx->id = next_tx_id_++;
+
+  // Everyone within carrier-sense range hears the transmission (and pays
+  // receive energy for it); only nodes within radio range can decode it.
+  for (net::NodeId nb : topo_->audible(src)) {
+    MacBase* mac = macs_[nb];
+    if (mac == nullptr || !mac->alive()) continue;
+    const bool decodable = topo_->in_range(src, nb);
+    sim_->schedule_in(propagation_,
+                      [mac, tx, decodable] { mac->arrival_start(tx, decodable); });
+    sim_->schedule_in(propagation_ + airtime,
+                      [mac, tx] { mac->arrival_end(tx); });
+  }
+  return tx;
+}
+
+}  // namespace wsn::mac

@@ -1,0 +1,73 @@
+// Shared wireless medium: delivers transmissions to in-range radios.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "net/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace wsn::mac {
+
+class MacBase;
+
+/// Frame classes on the air.
+enum class FrameKind : std::uint8_t { kData, kAck };
+
+/// One transmission in flight. Shared between the channel and every
+/// receiver so a late abort (transmitter dies mid-frame) corrupts all
+/// pending receptions.
+struct Transmission {
+  net::Frame frame;
+  FrameKind kind = FrameKind::kData;
+  sim::Time start;
+  sim::Time end;
+  bool aborted = false;
+  std::uint64_t id = 0;
+};
+
+using TransmissionPtr = std::shared_ptr<Transmission>;
+
+/// Broadcast medium over a unit-disk topology.
+///
+/// When a MAC starts transmitting, every live in-range radio sees the
+/// carrier for the frame's airtime; overlapping arrivals at a receiver
+/// corrupt each other (no capture). Interference range equals radio range.
+class Channel {
+ public:
+  Channel(sim::Simulator& sim, const net::Topology& topo,
+          sim::Time propagation = sim::Time::micros(1))
+      : sim_{&sim},
+        topo_{&topo},
+        propagation_{propagation},
+        macs_(topo.node_count(), nullptr) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Registers the MAC serving `id`. Must be called for every node before
+  /// the simulation starts.
+  void attach(net::NodeId id, MacBase* mac) { macs_[id] = mac; }
+
+  /// Starts a transmission from `src`; arrival start/end events are
+  /// scheduled at every live neighbour. Returns the in-flight record so the
+  /// transmitter can abort it (node failure mid-frame).
+  TransmissionPtr begin_transmission(net::NodeId src, net::Frame frame,
+                                     FrameKind kind, sim::Time airtime);
+
+  [[nodiscard]] const net::Topology& topology() const { return *topo_; }
+  [[nodiscard]] std::uint64_t transmissions_started() const {
+    return next_tx_id_ - 1;
+  }
+
+ private:
+  sim::Simulator* sim_;
+  const net::Topology* topo_;
+  sim::Time propagation_;
+  std::vector<MacBase*> macs_;
+  std::uint64_t next_tx_id_ = 1;
+};
+
+}  // namespace wsn::mac

@@ -1,0 +1,275 @@
+#include "mac/csma_mac.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logger.hpp"
+
+namespace wsn::mac {
+
+namespace {
+constexpr std::string_view kTag = "mac";
+}
+
+CsmaMac::CsmaMac(sim::Simulator& sim, Channel& channel, net::NodeId id,
+                 const PhyParams& phy, const EnergyParams& energy,
+                 sim::Rng rng)
+    : MacBase{sim, channel, id, energy},
+      phy_{phy},
+      rng_{rng},
+      cw_{phy.cw_min},
+      difs_timer_{sim, [this] { on_difs_elapsed(); }},
+      slot_timer_{sim, [this] { on_slot_elapsed(); }},
+      ack_timer_{sim, [this] { on_ack_timeout(); }} {}
+
+void CsmaMac::send(net::Frame frame) {
+  if (!alive_) return;
+  if (queue_.size() >= phy_.queue_limit) {
+    ++stats_.drops_queue_full;
+    return;
+  }
+  frame.src = id_;
+  queue_.push_back(Outgoing{std::move(frame), 0});
+  if (state_ == State::kIdle) start_contention();
+}
+
+void CsmaMac::set_alive(bool alive) {
+  if (alive == alive_) return;
+  alive_ = alive;
+  if (!alive) {
+    // Power down: abort any in-flight frame, drop state, stop drawing power.
+    if (outgoing_tx_) outgoing_tx_->aborted = true;
+    outgoing_tx_.reset();
+    transmitting_ = false;
+    pending_ack_tx_ = false;
+    queue_.clear();
+    arrivals_.clear();
+    active_arrivals_ = 0;
+    backoff_slots_ = -1;
+    cw_ = phy_.cw_min;
+    state_ = State::kIdle;
+    difs_timer_.cancel();
+    slot_timer_.cancel();
+    ack_timer_.cancel();
+    if (tx_end_event_.valid()) {
+      sim_->cancel(tx_end_event_);
+      tx_end_event_ = sim::EventHandle{};
+    }
+    meter_.set_state(sim_->now(), RadioState::kOff);
+  } else {
+    meter_.set_state(sim_->now(), RadioState::kIdle);
+  }
+}
+
+void CsmaMac::update_radio_state() {
+  RadioState s = RadioState::kIdle;
+  if (!alive_) {
+    s = RadioState::kOff;
+  } else if (transmitting_) {
+    s = RadioState::kTx;
+  } else if (active_arrivals_ > 0) {
+    s = RadioState::kRx;
+  }
+  meter_.set_state(sim_->now(), s);
+}
+
+std::uint32_t CsmaMac::draw_backoff() {
+  return static_cast<std::uint32_t>(rng_.uniform_int(0, cw_));
+}
+
+void CsmaMac::start_contention() {
+  state_ = State::kContend;
+  backoff_slots_ = -1;
+  if (!medium_busy()) difs_timer_.arm(phy_.difs);
+  // else: wait for medium_became_idle() to arm DIFS.
+}
+
+void CsmaMac::medium_became_busy() {
+  if (state_ == State::kContend) {
+    // Freeze: DIFS restarts and the remaining backoff resumes after the
+    // medium has been idle for DIFS again.
+    difs_timer_.cancel();
+    slot_timer_.cancel();
+  }
+}
+
+void CsmaMac::medium_became_idle() {
+  if (state_ == State::kContend) difs_timer_.arm(phy_.difs);
+}
+
+void CsmaMac::on_difs_elapsed() {
+  if (medium_busy()) return;  // raced with an arrival; idle handler re-arms
+  if (backoff_slots_ < 0) backoff_slots_ = static_cast<std::int32_t>(draw_backoff());
+  if (backoff_slots_ == 0) {
+    start_transmission();
+  } else {
+    slot_timer_.arm(phy_.slot);
+  }
+}
+
+void CsmaMac::on_slot_elapsed() {
+  if (medium_busy()) return;
+  --backoff_slots_;
+  if (backoff_slots_ <= 0) {
+    start_transmission();
+  } else {
+    slot_timer_.arm(phy_.slot);
+  }
+}
+
+void CsmaMac::start_transmission() {
+  if (queue_.empty()) {
+    state_ = State::kIdle;
+    return;
+  }
+  Outgoing& out = queue_.front();
+  state_ = State::kTransmit;
+  transmitting_ = true;
+  // Our own carrier corrupts anything we were mid-receiving (half duplex).
+  for (auto& [txp, st] : arrivals_) st.corrupt = true;
+  update_radio_state();
+
+  const sim::Time airtime = phy_.frame_airtime(out.frame.bytes);
+  outgoing_tx_ =
+      channel_->begin_transmission(id_, out.frame, FrameKind::kData, airtime);
+  ++stats_.frames_sent;
+  stats_.bytes_sent += out.frame.bytes;
+  if (out.attempts > 0) ++stats_.retries;
+  tx_end_event_ = sim_->schedule_in(airtime, [this] { on_tx_end(); });
+  WSN_LOG_AT(sim::LogLevel::kTrace, sim_->now(), kTag, "node %u tx %u bytes to %u",
+             id_, out.frame.bytes, out.frame.dst);
+}
+
+void CsmaMac::on_tx_end() {
+  tx_end_event_ = sim::EventHandle{};
+  transmitting_ = false;
+  outgoing_tx_.reset();
+  update_radio_state();
+
+  if (pending_ack_tx_) {
+    // The frame that just ended was an ACK we sent on behalf of a received
+    // unicast; it did not come from the queue. Resume whatever we were
+    // doing: kWaitAck keeps waiting (its timer is untouched), contention
+    // restarts, and an idle MAC with queued work starts contending.
+    pending_ack_tx_ = false;
+    if (state_ == State::kContend ||
+        (state_ == State::kIdle && !queue_.empty())) {
+      start_contention();
+    }
+    return;
+  }
+
+  if (queue_.empty()) {
+    state_ = State::kIdle;
+    return;
+  }
+  const Outgoing& out = queue_.front();
+  const bool is_unicast = out.frame.dst != net::kBroadcast;
+  if (is_unicast) {
+    state_ = State::kWaitAck;
+    ack_timer_.arm(phy_.ack_timeout());
+  } else {
+    finish_current(true);
+  }
+}
+
+void CsmaMac::on_ack_timeout() {
+  Outgoing& out = queue_.front();
+  ++out.attempts;
+  if (out.attempts > phy_.max_retries) {
+    ++stats_.drops_retry_exhausted;
+    finish_current(false);
+  } else {
+    cw_ = std::min(cw_ * 2 + 1, phy_.cw_max);
+    start_contention();
+  }
+}
+
+void CsmaMac::finish_current(bool success) {
+  if (user_ != nullptr && queue_.front().frame.dst != net::kBroadcast) {
+    if (success) {
+      user_->mac_send_succeeded(queue_.front().frame);
+    } else {
+      user_->mac_send_failed(queue_.front().frame);
+    }
+  }
+  queue_.pop_front();
+  cw_ = phy_.cw_min;
+  backoff_slots_ = -1;
+  if (queue_.empty()) {
+    state_ = State::kIdle;
+  } else {
+    start_contention();
+  }
+}
+
+void CsmaMac::send_ack(net::NodeId to) {
+  // ACKs are sent a SIFS after reception, without carrier sense — they have
+  // priority over contending stations. If we are busy transmitting at that
+  // instant, the ACK is skipped (sender will retry).
+  sim_->schedule_in(phy_.sifs, [this, to] {
+    if (!alive_ || transmitting_) return;
+    // Preempt whatever contention was in progress.
+    difs_timer_.cancel();
+    slot_timer_.cancel();
+    transmitting_ = true;
+    pending_ack_tx_ = true;
+    for (auto& [txp, st] : arrivals_) st.corrupt = true;
+    update_radio_state();
+    net::Frame ack;
+    ack.src = id_;
+    ack.dst = to;
+    ack.bytes = 0;
+    const sim::Time airtime = phy_.ack_airtime();
+    channel_->begin_transmission(id_, ack, FrameKind::kAck, airtime);
+    ++stats_.acks_sent;
+    tx_end_event_ = sim_->schedule_in(airtime, [this] { on_tx_end(); });
+  });
+}
+
+void CsmaMac::arrival_start(const TransmissionPtr& tx, bool decodable) {
+  if (!alive_) return;
+  const bool was_busy = medium_busy();
+  // Overlap with anything already arriving corrupts both (no capture).
+  const bool corrupt = transmitting_ || active_arrivals_ > 0;
+  for (auto& [txp, st] : arrivals_) {
+    if (!st.corrupt && st.decodable) ++stats_.arrivals_corrupted;
+    st.corrupt = true;
+  }
+  if (corrupt && decodable) ++stats_.arrivals_corrupted;
+  arrivals_.emplace(tx.get(), ArrivalState{corrupt, decodable});
+  ++active_arrivals_;
+  update_radio_state();
+  if (!was_busy) medium_became_busy();
+}
+
+void CsmaMac::arrival_end(const TransmissionPtr& tx) {
+  if (!alive_) return;
+  auto it = arrivals_.find(tx.get());
+  if (it == arrivals_.end()) return;  // node was down at arrival start
+  const bool deliverable =
+      it->second.decodable && !it->second.corrupt && !tx->aborted;
+  arrivals_.erase(it);
+  --active_arrivals_;
+  update_radio_state();
+  if (deliverable) deliver(*tx);
+  if (!medium_busy()) medium_became_idle();
+}
+
+void CsmaMac::deliver(const Transmission& tx) {
+  const net::Frame& f = tx.frame;
+  if (tx.kind == FrameKind::kAck) {
+    if (f.dst == id_ && state_ == State::kWaitAck && !queue_.empty() &&
+        queue_.front().frame.dst == f.src) {
+      ack_timer_.cancel();
+      finish_current(true);
+    }
+    return;
+  }
+  if (f.dst != id_ && f.dst != net::kBroadcast) return;  // overheard only
+  if (f.dst == id_) send_ack(f.src);
+  ++stats_.frames_delivered;
+  if (user_ != nullptr) user_->mac_receive(f);
+}
+
+}  // namespace wsn::mac

@@ -1,0 +1,90 @@
+// CSMA/CA MAC with DCF-style backoff, broadcast and acked unicast.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "mac/mac_base.hpp"
+#include "mac/params.hpp"
+#include "net/types.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace wsn::mac {
+
+/// Per-node 802.11-flavoured MAC.
+///
+/// Simplifications vs the full standard (documented in DESIGN.md): always
+/// backs off before transmitting, no RTS/CTS, no virtual carrier sense
+/// (NAV), no EIFS. Unicast frames are acknowledged and retried up to
+/// `max_retries`; broadcast frames are fire-once.
+class CsmaMac final : public MacBase {
+ public:
+  CsmaMac(sim::Simulator& sim, Channel& channel, net::NodeId id,
+          const PhyParams& phy, const EnergyParams& energy, sim::Rng rng);
+
+  void send(net::Frame frame) override;
+  void set_alive(bool alive) override;
+
+  void arrival_start(const TransmissionPtr& tx, bool decodable) override;
+  void arrival_end(const TransmissionPtr& tx) override;
+
+ private:
+  enum class State {
+    kIdle,        ///< nothing to send
+    kContend,     ///< DIFS + backoff countdown in progress (or waiting for idle)
+    kTransmit,    ///< frame on the air
+    kWaitAck,     ///< unicast sent, ACK pending
+  };
+
+  struct Outgoing {
+    net::Frame frame;
+    int attempts = 0;
+  };
+
+  [[nodiscard]] bool medium_busy() const {
+    return transmitting_ || active_arrivals_ > 0;
+  }
+  void update_radio_state();
+  void medium_became_busy();
+  void medium_became_idle();
+  void start_contention();
+  void on_difs_elapsed();
+  void on_slot_elapsed();
+  void start_transmission();
+  void on_tx_end();
+  void on_ack_timeout();
+  void finish_current(bool success);
+  void send_ack(net::NodeId to);
+  void deliver(const Transmission& tx);
+  [[nodiscard]] std::uint32_t draw_backoff();
+
+  PhyParams phy_;
+  sim::Rng rng_;
+
+  State state_ = State::kIdle;
+  std::deque<Outgoing> queue_;
+  std::uint32_t cw_;
+  std::int32_t backoff_slots_ = -1;  ///< -1: not drawn yet for this attempt
+
+  bool transmitting_ = false;
+  TransmissionPtr outgoing_tx_;       ///< in-flight frame (for abort)
+  bool pending_ack_tx_ = false;       ///< an ACK is scheduled to transmit
+
+  int active_arrivals_ = 0;
+  // In-flight arrivals at this radio.
+  struct ArrivalState {
+    bool corrupt = false;
+    bool decodable = true;
+  };
+  std::unordered_map<const Transmission*, ArrivalState> arrivals_;
+
+  sim::Timer difs_timer_;
+  sim::Timer slot_timer_;
+  sim::Timer ack_timer_;
+  sim::EventHandle tx_end_event_;
+};
+
+}  // namespace wsn::mac

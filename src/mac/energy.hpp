@@ -1,0 +1,64 @@
+// Per-node radio energy accounting.
+#pragma once
+
+#include "mac/params.hpp"
+#include "sim/time.hpp"
+
+namespace wsn::mac {
+
+/// Radio power states, in increasing priority: a transmitting radio is
+/// charged TX power even while frames arrive (half duplex).
+enum class RadioState { kOff = 0, kIdle, kRx, kTx };
+
+/// Integrates power draw over radio-state residence times.
+///
+/// Call `set_state` on every radio transition; call `accumulate_to` before
+/// reading `joules` so the tail interval in the current state is charged.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(const EnergyParams& params) : params_{params} {}
+
+  void set_state(sim::Time now, RadioState s) {
+    accumulate_to(now);
+    state_ = s;
+  }
+
+  void accumulate_to(sim::Time now) {
+    if (now > last_change_) {
+      const double j = power(state_) * (now - last_change_).as_seconds();
+      joules_ += j;
+      if (state_ == RadioState::kRx || state_ == RadioState::kTx) {
+        active_joules_ += j;
+      }
+      last_change_ = now;
+    }
+  }
+
+  [[nodiscard]] RadioState state() const { return state_; }
+
+  /// Total energy consumed up to the last accumulate_to/set_state call.
+  [[nodiscard]] double joules() const { return joules_; }
+
+  /// Energy spent transmitting or receiving only (no idle floor). The
+  /// communication-driven share that in-network aggregation can reduce.
+  [[nodiscard]] double active_joules() const { return active_joules_; }
+
+  [[nodiscard]] double power(RadioState s) const {
+    switch (s) {
+      case RadioState::kOff: return 0.0;
+      case RadioState::kIdle: return params_.idle_watts;
+      case RadioState::kRx: return params_.rx_watts;
+      case RadioState::kTx: return params_.tx_watts;
+    }
+    return 0.0;
+  }
+
+ private:
+  EnergyParams params_;
+  RadioState state_ = RadioState::kIdle;
+  sim::Time last_change_ = sim::Time::zero();
+  double joules_ = 0.0;
+  double active_joules_ = 0.0;
+};
+
+}  // namespace wsn::mac

@@ -1,0 +1,96 @@
+// Abstract link layer: what the diffusion stack needs from a MAC.
+#pragma once
+
+#include <cstdint>
+
+#include "mac/channel.hpp"
+#include "mac/energy.hpp"
+#include "net/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace wsn::mac {
+
+/// Upper-layer callback interface (implemented by the diffusion layer).
+class MacUser {
+ public:
+  virtual ~MacUser() = default;
+  /// A decoded frame addressed to this node (or broadcast) arrived.
+  virtual void mac_receive(const net::Frame& frame) = 0;
+  /// A unicast frame was dropped after exhausting its retries — the usual
+  /// sign of a dead or unreachable next hop. Default: ignore.
+  virtual void mac_send_failed(const net::Frame& frame) { (void)frame; }
+  /// A unicast frame was acknowledged. Default: ignore.
+  virtual void mac_send_succeeded(const net::Frame& frame) { (void)frame; }
+};
+
+/// Counters exposed for metrics and tests.
+struct MacStats {
+  std::uint64_t frames_sent = 0;       ///< data frames put on the air
+  std::uint64_t acks_sent = 0;
+  std::uint64_t frames_delivered = 0;  ///< clean frames handed to the user
+  std::uint64_t arrivals_corrupted = 0;
+  std::uint64_t drops_queue_full = 0;
+  std::uint64_t drops_retry_exhausted = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t bytes_sent = 0;        ///< payload bytes, data frames only
+};
+
+/// Base class for link layers (CSMA/CA and TDMA implementations provided).
+/// Owns the pieces every MAC shares: identity, liveness, the energy meter
+/// and the user hook; concrete MACs implement medium access and implement
+/// the channel-facing arrival callbacks.
+class MacBase {
+ public:
+  MacBase(sim::Simulator& sim, Channel& channel, net::NodeId id,
+          const EnergyParams& energy)
+      : sim_{&sim}, channel_{&channel}, id_{id}, meter_{energy} {
+    channel.attach(id, this);
+  }
+  virtual ~MacBase() = default;
+
+  MacBase(const MacBase&) = delete;
+  MacBase& operator=(const MacBase&) = delete;
+
+  void set_user(MacUser* user) { user_ = user; }
+
+  /// Queues a frame for transmission. Drops (and counts) when the queue is
+  /// full or the node is down.
+  virtual void send(net::Frame frame) = 0;
+
+  /// Powers the node down/up. Down: queue flushed, timers cancelled, any
+  /// in-flight transmission aborted, zero energy draw.
+  virtual void set_alive(bool alive) = 0;
+
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] net::NodeId id() const { return id_; }
+  [[nodiscard]] const MacStats& stats() const { return stats_; }
+
+  /// Energy consumed up to `now`.
+  [[nodiscard]] double energy_joules(sim::Time now) {
+    meter_.accumulate_to(now);
+    return meter_.joules();
+  }
+  /// Energy consumed transmitting/receiving only (no idle floor).
+  [[nodiscard]] double active_energy_joules(sim::Time now) {
+    meter_.accumulate_to(now);
+    return meter_.active_joules();
+  }
+
+  // --- Channel-facing interface (called by Channel's scheduled events) ---
+  /// `decodable` is false for carrier-sense-only arrivals (audible but out
+  /// of radio range): they occupy the medium and cost receive energy but
+  /// can never be delivered.
+  virtual void arrival_start(const TransmissionPtr& tx, bool decodable) = 0;
+  virtual void arrival_end(const TransmissionPtr& tx) = 0;
+
+ protected:
+  sim::Simulator* sim_;
+  Channel* channel_;
+  net::NodeId id_;
+  EnergyMeter meter_;
+  MacUser* user_ = nullptr;
+  bool alive_ = true;
+  MacStats stats_;
+};
+
+}  // namespace wsn::mac

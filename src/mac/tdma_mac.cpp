@@ -1,0 +1,178 @@
+#include "mac/tdma_mac.hpp"
+
+#include <utility>
+
+namespace wsn::mac {
+
+TdmaMac::TdmaMac(sim::Simulator& sim, Channel& channel, net::NodeId id,
+                 std::uint32_t num_slots, const TdmaParams& params,
+                 const EnergyParams& energy)
+    : MacBase{sim, channel, id, energy},
+      params_{params},
+      num_slots_{num_slots},
+      slot_timer_{sim, [this] { on_slot_start(); }} {
+  slot_timer_.arm(params_.slot_duration() * id);
+}
+
+void TdmaMac::schedule_next_slot() { slot_timer_.arm(cycle_duration()); }
+
+void TdmaMac::send(net::Frame frame) {
+  if (!alive_) return;
+  if (queue_.size() >= params_.queue_limit) {
+    ++stats_.drops_queue_full;
+    return;
+  }
+  frame.src = id_;
+  queue_.push_back(Outgoing{std::move(frame), 0});
+}
+
+void TdmaMac::set_alive(bool alive) {
+  if (alive == alive_) return;
+  alive_ = alive;
+  if (!alive) {
+    if (outgoing_tx_) outgoing_tx_->aborted = true;
+    outgoing_tx_.reset();
+    transmitting_ = false;
+    awaiting_ack_ = false;
+    ack_tx_in_progress_ = false;
+    queue_.clear();
+    arrivals_.clear();
+    active_arrivals_ = 0;
+    slot_timer_.cancel();
+    if (tx_end_event_.valid()) {
+      sim_->cancel(tx_end_event_);
+      tx_end_event_ = sim::EventHandle{};
+    }
+    meter_.set_state(sim_->now(), RadioState::kOff);
+  } else {
+    meter_.set_state(sim_->now(), RadioState::kIdle);
+    // Rejoin the schedule at our next slot boundary.
+    const auto cycle = cycle_duration().as_nanos();
+    const auto offset = (params_.slot_duration() * id_).as_nanos();
+    const auto now = sim_->now().as_nanos();
+    const auto phase = (now - offset) % cycle;
+    slot_timer_.arm(sim::Time::nanos(phase == 0 ? 0 : cycle - phase));
+  }
+}
+
+void TdmaMac::on_slot_start() {
+  schedule_next_slot();
+  if (!alive_ || queue_.empty() || transmitting_) return;
+
+  Outgoing& out = queue_.front();
+  transmitting_ = true;
+  for (auto& [txp, ok] : arrivals_) ok = false;  // half duplex corrupts rx
+  update_radio_state();
+
+  const sim::Time airtime = params_.payload_airtime(out.frame.bytes);
+  outgoing_tx_ =
+      channel_->begin_transmission(id_, out.frame, FrameKind::kData, airtime);
+  ++stats_.frames_sent;
+  stats_.bytes_sent += out.frame.bytes;
+  if (out.attempts > 0) ++stats_.retries;
+  awaiting_ack_ = out.frame.dst != net::kBroadcast;
+  tx_end_event_ = sim_->schedule_in(airtime, [this] { on_tx_end(); });
+}
+
+void TdmaMac::on_tx_end() {
+  tx_end_event_ = sim::EventHandle{};
+  transmitting_ = false;
+  outgoing_tx_.reset();
+  update_radio_state();
+
+  if (ack_tx_in_progress_) {  // the frame that ended was an ACK we sent
+    ack_tx_in_progress_ = false;
+    return;
+  }
+  if (queue_.empty()) return;
+  Outgoing& out = queue_.front();
+  if (out.frame.dst == net::kBroadcast) {
+    queue_.pop_front();
+    return;
+  }
+  // Unicast: wait out the ACK window at the end of our slot.
+  const sim::Time window = params_.sifs + params_.ack_airtime() +
+                           params_.guard + sim::Time::micros(4);
+  sim_->schedule_in(window, [this] {
+    if (!alive_ || !awaiting_ack_ || queue_.empty()) return;
+    awaiting_ack_ = false;
+    Outgoing& head = queue_.front();
+    if (++head.attempts > params_.max_retries) {
+      ++stats_.drops_retry_exhausted;
+      if (user_ != nullptr) user_->mac_send_failed(head.frame);
+      queue_.pop_front();
+    }
+    // else: the frame stays queued for our next slot.
+  });
+}
+
+void TdmaMac::update_radio_state() {
+  RadioState s = RadioState::kIdle;
+  if (!alive_) {
+    s = RadioState::kOff;
+  } else if (transmitting_) {
+    s = RadioState::kTx;
+  } else if (active_arrivals_ > 0) {
+    s = RadioState::kRx;
+  }
+  meter_.set_state(sim_->now(), s);
+}
+
+void TdmaMac::arrival_start(const TransmissionPtr& tx, bool decodable) {
+  if (!alive_) return;
+  // The global schedule is collision-free; overlap can still occur around
+  // ACKs of a frame we cannot decode, so treat overlaps as corruption.
+  const bool clean = !transmitting_ && active_arrivals_ == 0;
+  if (!clean) {
+    ++stats_.arrivals_corrupted;
+    for (auto& [txp, ok] : arrivals_) ok = false;
+  }
+  arrivals_.emplace(tx.get(), decodable && clean);
+  ++active_arrivals_;
+  update_radio_state();
+}
+
+void TdmaMac::arrival_end(const TransmissionPtr& tx) {
+  if (!alive_) return;
+  auto it = arrivals_.find(tx.get());
+  if (it == arrivals_.end()) return;
+  const bool deliverable = it->second && !tx->aborted;
+  arrivals_.erase(it);
+  --active_arrivals_;
+  update_radio_state();
+  if (deliverable) deliver(*tx);
+}
+
+void TdmaMac::deliver(const Transmission& tx) {
+  const net::Frame& f = tx.frame;
+  if (tx.kind == FrameKind::kAck) {
+    if (f.dst == id_ && awaiting_ack_ && !queue_.empty()) {
+      awaiting_ack_ = false;
+      if (user_ != nullptr) user_->mac_send_succeeded(queue_.front().frame);
+      queue_.pop_front();
+    }
+    return;
+  }
+  if (f.dst != id_ && f.dst != net::kBroadcast) return;
+  if (f.dst == id_) {
+    // Acknowledge inside the sender's slot, a SIFS after the data.
+    sim_->schedule_in(params_.sifs, [this, to = f.src] {
+      if (!alive_ || transmitting_) return;
+      transmitting_ = true;
+      ack_tx_in_progress_ = true;
+      update_radio_state();
+      net::Frame ack;
+      ack.src = id_;
+      ack.dst = to;
+      ack.bytes = 0;
+      const sim::Time airtime = params_.ack_airtime();
+      channel_->begin_transmission(id_, ack, FrameKind::kAck, airtime);
+      ++stats_.acks_sent;
+      tx_end_event_ = sim_->schedule_in(airtime, [this] { on_tx_end(); });
+    });
+  }
+  ++stats_.frames_delivered;
+  if (user_ != nullptr) user_->mac_receive(f);
+}
+
+}  // namespace wsn::mac

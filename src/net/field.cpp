@@ -1,0 +1,27 @@
+#include "net/field.hpp"
+
+#include "net/topology.hpp"
+
+namespace wsn::net {
+
+std::vector<Vec2> generate_uniform_field(const FieldSpec& spec,
+                                         sim::Rng& rng) {
+  std::vector<Vec2> pts;
+  pts.reserve(spec.nodes);
+  for (std::size_t i = 0; i < spec.nodes; ++i) {
+    pts.push_back({rng.uniform(0.0, spec.side_m), rng.uniform(0.0, spec.side_m)});
+  }
+  return pts;
+}
+
+std::vector<Vec2> generate_connected_field(const FieldSpec& spec,
+                                           sim::Rng& rng, int max_attempts) {
+  std::vector<Vec2> pts;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    pts = generate_uniform_field(spec, rng);
+    if (Topology{pts, spec.radio_range_m}.connected()) return pts;
+  }
+  return pts;
+}
+
+}  // namespace wsn::net

@@ -1,0 +1,34 @@
+// Random sensor-field generation (the paper's 200 m × 200 m square).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/vec2.hpp"
+#include "sim/random.hpp"
+
+namespace wsn::net {
+
+/// Parameters for generating one random field.
+struct FieldSpec {
+  double side_m = 200.0;      ///< square side length
+  std::size_t nodes = 50;     ///< node count
+  double radio_range_m = 40.0;
+  /// Carrier-sense (audible) range; the classic ns-2 WaveLAN CS/RX ratio
+  /// is 550 m / 250 m = 2.2, scaled here to the 40 m sensor radio.
+  double carrier_sense_range_m = 88.0;
+};
+
+/// Places `spec.nodes` points uniformly at random in the square.
+std::vector<Vec2> generate_uniform_field(const FieldSpec& spec,
+                                         sim::Rng& rng);
+
+/// Places points uniformly but retries whole fields until the unit-disk
+/// graph is connected (up to `max_attempts`; returns the last attempt
+/// regardless, mirroring the paper's practice of averaging over random
+/// fields that are connected with high probability at these densities).
+std::vector<Vec2> generate_connected_field(const FieldSpec& spec,
+                                           sim::Rng& rng,
+                                           int max_attempts = 100);
+
+}  // namespace wsn::net

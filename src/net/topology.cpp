@@ -1,0 +1,124 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+namespace wsn::net {
+namespace {
+
+// Grid cell key for spatial binning.
+std::int64_t cell_key(std::int64_t cx, std::int64_t cy) {
+  return (cx << 32) ^ (cy & 0xffffffff);
+}
+
+}  // namespace
+
+Topology::Topology(std::vector<Vec2> positions, double radio_range,
+                   double carrier_sense_range)
+    : positions_{std::move(positions)},
+      range_{radio_range},
+      cs_range_{carrier_sense_range > 0.0 ? carrier_sense_range : radio_range} {
+  assert(range_ > 0.0);
+  assert(cs_range_ >= range_);
+  const std::size_t n = positions_.size();
+  neighbor_lists_.resize(n);
+  audible_lists_.resize(n);
+  if (n == 0) return;
+
+  // Bin nodes into cs_range×cs_range cells; audible nodes can only be in
+  // the 3×3 block of cells around a node's cell.
+  std::unordered_map<std::int64_t, std::vector<NodeId>> grid;
+  grid.reserve(n);
+  auto cell_of = [this](Vec2 p) {
+    return std::pair{static_cast<std::int64_t>(std::floor(p.x / cs_range_)),
+                     static_cast<std::int64_t>(std::floor(p.y / cs_range_))};
+  };
+  for (NodeId i = 0; i < n; ++i) {
+    const auto [cx, cy] = cell_of(positions_[i]);
+    grid[cell_key(cx, cy)].push_back(i);
+  }
+
+  const double range_sq = range_ * range_;
+  const double cs_sq = cs_range_ * cs_range_;
+  for (NodeId i = 0; i < n; ++i) {
+    const auto [cx, cy] = cell_of(positions_[i]);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        auto it = grid.find(cell_key(cx + dx, cy + dy));
+        if (it == grid.end()) continue;
+        for (NodeId j : it->second) {
+          if (j == i) continue;
+          const double d_sq = distance_sq(positions_[i], positions_[j]);
+          if (d_sq < cs_sq) {
+            audible_lists_[i].push_back(j);
+            if (d_sq < range_sq) neighbor_lists_[i].push_back(j);
+          }
+        }
+      }
+    }
+    std::sort(neighbor_lists_[i].begin(), neighbor_lists_[i].end());
+    std::sort(audible_lists_[i].begin(), audible_lists_[i].end());
+  }
+}
+
+bool Topology::in_range(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  return distance_sq(positions_[a], positions_[b]) < range_ * range_;
+}
+
+double Topology::average_degree() const {
+  if (positions_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& nl : neighbor_lists_) total += nl.size();
+  return static_cast<double>(total) / static_cast<double>(positions_.size());
+}
+
+bool Topology::connected() const {
+  if (positions_.empty()) return true;
+  return hop_count_reachable_from_0() == positions_.size();
+}
+
+std::size_t Topology::hop_count_reachable_from_0() const {
+  std::vector<char> seen(positions_.size(), 0);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = 1;
+  std::size_t count = 1;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : neighbor_lists_[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++count;
+        q.push(v);
+      }
+    }
+  }
+  return count;
+}
+
+int Topology::hop_distance(NodeId from, NodeId to) const {
+  if (from == to) return 0;
+  std::vector<int> dist(positions_.size(), -1);
+  std::queue<NodeId> q;
+  q.push(from);
+  dist[from] = 0;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : neighbor_lists_[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        if (v == to) return dist[v];
+        q.push(v);
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace wsn::net

@@ -1,0 +1,73 @@
+// Static node placement and unit-disk connectivity.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "net/types.hpp"
+#include "net/vec2.hpp"
+
+namespace wsn::net {
+
+/// Immutable sensor-field layout: node positions plus unit-disk neighbour
+/// lists for a fixed radio range. Built once per experiment run; liveness
+/// (node failures) is tracked elsewhere, not here.
+class Topology {
+ public:
+  /// Builds neighbour lists with a uniform grid (O(n) for uniform fields).
+  ///
+  /// `carrier_sense_range` is the distance out to which a transmission is
+  /// still *audible* — it occupies the channel, costs receive energy and
+  /// can corrupt receptions — even though it is only decodable within
+  /// `radio_range` (ns-2's CSThresh vs RXThresh distinction; the classic
+  /// WaveLAN ratio is 550 m / 250 m = 2.2). Pass 0 to make them equal.
+  Topology(std::vector<Vec2> positions, double radio_range,
+           double carrier_sense_range = 0.0);
+
+  [[nodiscard]] std::size_t node_count() const { return positions_.size(); }
+  [[nodiscard]] double radio_range() const { return range_; }
+  [[nodiscard]] double carrier_sense_range() const { return cs_range_; }
+
+  [[nodiscard]] Vec2 position(NodeId id) const { return positions_[id]; }
+  [[nodiscard]] const std::vector<Vec2>& positions() const {
+    return positions_;
+  }
+
+  /// Neighbours of `id` (nodes strictly within radio range, excluding
+  /// `id` itself), sorted by id.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId id) const {
+    return {neighbor_lists_[id].data(), neighbor_lists_[id].size()};
+  }
+
+  /// Nodes within carrier-sense range of `id` (superset of neighbors).
+  [[nodiscard]] std::span<const NodeId> audible(NodeId id) const {
+    return {audible_lists_[id].data(), audible_lists_[id].size()};
+  }
+
+  [[nodiscard]] bool in_range(NodeId a, NodeId b) const;
+
+  [[nodiscard]] double distance_between(NodeId a, NodeId b) const {
+    return distance(positions_[a], positions_[b]);
+  }
+
+  /// Mean neighbour count — the paper's "radio density".
+  [[nodiscard]] double average_degree() const;
+
+  /// True iff every node can reach every other (ignoring liveness).
+  [[nodiscard]] bool connected() const;
+
+  /// Hop distance between two nodes via BFS; -1 if unreachable.
+  [[nodiscard]] int hop_distance(NodeId from, NodeId to) const;
+
+ private:
+  [[nodiscard]] std::size_t hop_count_reachable_from_0() const;
+
+  std::vector<Vec2> positions_;
+  double range_;
+  double cs_range_;
+  std::vector<std::vector<NodeId>> neighbor_lists_;
+  std::vector<std::vector<NodeId>> audible_lists_;
+};
+
+}  // namespace wsn::net

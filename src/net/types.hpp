@@ -1,0 +1,44 @@
+// Basic network-layer identifiers and the frame unit exchanged with the MAC.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+namespace wsn::net {
+
+/// Dense node index within one simulated field.
+using NodeId = std::uint32_t;
+
+/// "No node" sentinel (invalid neighbour, unset parent, ...).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Link-layer broadcast address.
+inline constexpr NodeId kBroadcast = kNoNode - 1;
+
+/// Base class for anything carried as a frame payload. Payloads are
+/// immutable once sent and shared between all receivers of a broadcast.
+class Message {
+ public:
+  virtual ~Message() = default;
+
+ protected:
+  Message() = default;
+  Message(const Message&) = default;
+  Message& operator=(const Message&) = default;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Link-layer service data unit handed to / delivered by the MAC.
+///
+/// `bytes` is the application payload size; the MAC adds its own header
+/// bytes when computing airtime and energy.
+struct Frame {
+  NodeId src = kNoNode;
+  NodeId dst = kBroadcast;
+  std::uint32_t bytes = 0;
+  MessagePtr payload;
+};
+
+}  // namespace wsn::net

@@ -1,0 +1,58 @@
+// 2-D geometry for node placement.
+#pragma once
+
+#include <cmath>
+
+namespace wsn::net {
+
+/// Point / vector in the plane, metres.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Distance from point `p` to the segment [a, b].
+[[nodiscard]] inline double distance_to_segment(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len_sq = ab.x * ab.x + ab.y * ab.y;
+  if (len_sq <= 0.0) return distance(p, a);
+  double t = ((p.x - a.x) * ab.x + (p.y - a.y) * ab.y) / len_sq;
+  t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+  return distance(p, {a.x + ab.x * t, a.y + ab.y * t});
+}
+
+[[nodiscard]] constexpr double distance_sq(Vec2 a, Vec2 b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Axis-aligned rectangle [x0,x1] × [y0,y1]; used for placement regions
+/// (e.g. the paper's 80×80 m source corner).
+struct Rect {
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;
+
+  [[nodiscard]] constexpr bool contains(Vec2 p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+  [[nodiscard]] constexpr double width() const { return x1 - x0; }
+  [[nodiscard]] constexpr double height() const { return y1 - y0; }
+
+  /// Euclidean distance from `p` to the rectangle (0 when inside).
+  [[nodiscard]] double distance_to(Vec2 p) const {
+    const double dx = p.x < x0 ? x0 - p.x : (p.x > x1 ? p.x - x1 : 0.0);
+    const double dy = p.y < y0 ? y0 - p.y : (p.y > y1 ? p.y - y1 : 0.0);
+    return std::hypot(dx, dy);
+  }
+};
+
+}  // namespace wsn::net

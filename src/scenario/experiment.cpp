@@ -1,0 +1,194 @@
+#include "scenario/experiment.hpp"
+
+#include <algorithm>
+
+#include "mac/channel.hpp"
+#include "mac/csma_mac.hpp"
+#include "mac/tdma_mac.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "stats/accumulator.hpp"
+#include "trees/models.hpp"
+
+namespace wsn::scenario {
+namespace {
+
+/// Drives the §5.3 failure process for the lifetime of a run.
+class FailureProcess {
+ public:
+  FailureProcess(sim::Simulator& sim, std::vector<mac::MacBase*> macs,
+                 std::vector<char> protected_nodes, const FailureModel& model,
+                 sim::Rng rng)
+      : sim_{&sim},
+        macs_{std::move(macs)},
+        protected_{std::move(protected_nodes)},
+        model_{model},
+        rng_{rng} {
+    if (model_.enabled) schedule_next(model_.period);
+  }
+
+ private:
+  void schedule_next(sim::Time in) {
+    sim_->schedule_in(in, [this] { rotate(); });
+  }
+
+  void rotate() {
+    for (net::NodeId id : down_) macs_[id]->set_alive(true);
+    down_.clear();
+
+    std::vector<net::NodeId> eligible;
+    for (net::NodeId id = 0; id < macs_.size(); ++id) {
+      if (!model_.protect_endpoints || !protected_[id]) eligible.push_back(id);
+    }
+    const auto victims = static_cast<std::size_t>(
+        model_.fraction * static_cast<double>(macs_.size()) + 0.5);
+    rng_.shuffle(eligible);
+    for (std::size_t i = 0; i < std::min(victims, eligible.size()); ++i) {
+      macs_[eligible[i]]->set_alive(false);
+      down_.push_back(eligible[i]);
+    }
+    schedule_next(model_.period);
+  }
+
+  sim::Simulator* sim_;
+  std::vector<mac::MacBase*> macs_;
+  std::vector<char> protected_;
+  FailureModel model_;
+  sim::Rng rng_;
+  std::vector<net::NodeId> down_;
+};
+
+}  // namespace
+
+RunResult run_experiment(const ExperimentConfig& config) {
+  sim::Rng master{config.seed};
+  sim::Rng field_rng = master.fork(1);
+  sim::Rng placement_rng = master.fork(2);
+  sim::Rng failure_rng = master.fork(3);
+
+  const auto positions =
+      net::generate_connected_field(config.field, field_rng);
+  const net::Topology topo{positions, config.field.radio_range_m,
+                           config.field.carrier_sense_range_m};
+
+  sim::Simulator sim;
+  mac::Channel channel{sim, topo, config.phy.propagation};
+
+  std::vector<std::unique_ptr<mac::MacBase>> macs;
+  macs.reserve(topo.node_count());
+  for (net::NodeId id = 0; id < topo.node_count(); ++id) {
+    if (config.mac_type == MacType::kCsma) {
+      macs.push_back(std::make_unique<mac::CsmaMac>(sim, channel, id,
+                                                    config.phy, config.energy,
+                                                    master.fork(1000 + id)));
+    } else {
+      macs.push_back(std::make_unique<mac::TdmaMac>(
+          sim, channel, id, static_cast<std::uint32_t>(topo.node_count()),
+          config.tdma, config.energy));
+    }
+  }
+
+  stats::MetricsCollector collector;
+  std::vector<std::unique_ptr<diffusion::DiffusionNode>> nodes;
+  nodes.reserve(topo.node_count());
+  for (net::NodeId id = 0; id < topo.node_count(); ++id) {
+    nodes.push_back(core::make_diffusion_node(
+        config.algorithm, sim, *macs[id], topo.position(id), config.diffusion,
+        master.fork(2000 + id), &collector));
+  }
+
+  // --- workload placement ---
+  RunResult result;
+  if (config.source_placement == SourcePlacement::kCorner) {
+    auto inst = trees::make_corner_instance(topo, config.num_sources,
+                                            config.source_rect,
+                                            config.sink_rect, placement_rng);
+    result.sources.assign(inst.sources.begin(), inst.sources.end());
+    result.sinks.push_back(inst.sink);
+  } else {
+    auto inst = trees::make_random_sources_instance(topo, config.num_sources,
+                                                    placement_rng);
+    result.sources.assign(inst.sources.begin(), inst.sources.end());
+    // Even with random sources the first sink uses the paper's corner rect.
+    auto sink_inst = trees::make_corner_instance(
+        topo, 0, config.source_rect, config.sink_rect, placement_rng);
+    net::NodeId sink = sink_inst.sink;
+    while (std::find(result.sources.begin(), result.sources.end(), sink) !=
+           result.sources.end()) {
+      sink = static_cast<net::NodeId>(placement_rng.uniform_int(
+          0, static_cast<std::int64_t>(topo.node_count()) - 1));
+    }
+    result.sinks.push_back(sink);
+  }
+  // Extra sinks (paper §5.4): uniformly scattered, avoiding duplicates.
+  while (result.sinks.size() < config.num_sinks) {
+    const auto candidate = static_cast<net::NodeId>(placement_rng.uniform_int(
+        0, static_cast<std::int64_t>(topo.node_count()) - 1));
+    const bool taken =
+        std::find(result.sinks.begin(), result.sinks.end(), candidate) !=
+            result.sinks.end() ||
+        std::find(result.sources.begin(), result.sources.end(), candidate) !=
+            result.sources.end();
+    if (!taken) result.sinks.push_back(candidate);
+  }
+
+  const net::Rect task_region = config.interest_region.value_or(
+      net::Rect{0.0, 0.0, config.field.side_m, config.field.side_m});
+  for (net::NodeId s : result.sources) nodes[s]->set_detecting(true);
+  for (net::NodeId k : result.sinks) nodes[k]->make_sink(task_region);
+  for (auto& n : nodes) n->start();
+
+  // --- failure process ---
+  std::vector<char> protected_nodes(topo.node_count(), 0);
+  for (net::NodeId s : result.sources) protected_nodes[s] = 1;
+  for (net::NodeId k : result.sinks) protected_nodes[k] = 1;
+  std::vector<mac::MacBase*> mac_ptrs;
+  for (auto& m : macs) mac_ptrs.push_back(m.get());
+  FailureProcess failures{sim, mac_ptrs, protected_nodes, config.failures,
+                          failure_rng};
+
+  // --- run ---
+  sim.run_until(config.duration);
+
+  // --- harvest ---
+  double total_energy = 0.0;
+  double total_active = 0.0;
+  stats::Accumulator per_node_energy;
+  result.node_positions = positions;
+  for (auto& m : macs) {
+    const double j = m->energy_joules(sim.now());
+    result.node_energy_joules.push_back(j);
+    per_node_energy.add(j);
+    total_energy += j;
+    total_active += m->active_energy_joules(sim.now());
+    const auto& st = m->stats();
+    result.frames_sent += st.frames_sent + st.acks_sent;
+    result.bytes_sent += st.bytes_sent;
+    result.arrivals_corrupted += st.arrivals_corrupted;
+    result.drops += st.drops_queue_full + st.drops_retry_exhausted;
+  }
+  for (auto& n : nodes) {
+    const auto& p = n->stats();
+    result.protocol.interests_sent += p.interests_sent;
+    result.protocol.exploratory_sent += p.exploratory_sent;
+    result.protocol.data_sent += p.data_sent;
+    result.protocol.icm_sent += p.icm_sent;
+    result.protocol.reinforcements_sent += p.reinforcements_sent;
+    result.protocol.negatives_sent += p.negatives_sent;
+    result.protocol.repairs_attempted += p.repairs_attempted;
+    result.protocol.items_dropped_no_gradient += p.items_dropped_no_gradient;
+    result.protocol.aggregates_received += p.aggregates_received;
+    for (net::NodeId nb : n->data_gradient_neighbors()) {
+      result.tree_edges.emplace_back(n->id(), nb);
+    }
+  }
+  result.average_degree = topo.average_degree();
+  result.energy_max_node_joules = per_node_energy.max();
+  result.energy_mean_node_joules = per_node_energy.mean();
+  result.energy_stddev_node_joules = per_node_energy.stddev();
+  result.metrics = collector.finalize(total_energy, total_active,
+                                      topo.node_count(), result.sinks.size());
+  return result;
+}
+
+}  // namespace wsn::scenario

@@ -1,0 +1,40 @@
+#include "scenario/sweep.hpp"
+
+#include <cstdlib>
+
+namespace wsn::scenario {
+
+AveragedPoint run_replicates(const ExperimentConfig& base, int replicates,
+                             std::uint64_t seed0) {
+  AveragedPoint point;
+  for (int r = 0; r < replicates; ++r) {
+    ExperimentConfig cfg = base;
+    cfg.seed = seed0 + static_cast<std::uint64_t>(r);
+    const RunResult res = run_experiment(cfg);
+    point.energy.add(res.metrics.avg_dissipated_energy);
+    point.active_energy.add(res.metrics.avg_active_energy);
+    point.delay.add(res.metrics.avg_delay);
+    point.delivery.add(res.metrics.delivery_ratio);
+    point.degree.add(res.average_degree);
+    ++point.replicates;
+  }
+  return point;
+}
+
+int fields_from_env(int fallback) {
+  if (const char* s = std::getenv("WSN_FIELDS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+double sim_seconds_from_env(double fallback) {
+  if (const char* s = std::getenv("WSN_SIM_TIME")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace wsn::scenario

@@ -1,0 +1,33 @@
+// Replicated runs and environment-based sizing for the bench harnesses.
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/experiment.hpp"
+#include "stats/accumulator.hpp"
+
+namespace wsn::scenario {
+
+/// Metric averages over several independently generated fields (the paper
+/// averages each point over ten fields).
+struct AveragedPoint {
+  stats::Accumulator energy;         ///< J/node/received distinct event
+  stats::Accumulator active_energy;  ///< tx+rx only, same units
+  stats::Accumulator delay;          ///< seconds
+  stats::Accumulator delivery;       ///< ratio
+  stats::Accumulator degree;         ///< radio density actually realised
+  int replicates = 0;
+};
+
+/// Runs `replicates` copies of `base` with seeds seed0, seed0+1, ... and
+/// averages the paper's three metrics.
+AveragedPoint run_replicates(const ExperimentConfig& base, int replicates,
+                             std::uint64_t seed0 = 1);
+
+/// Number of fields per sweep point: WSN_FIELDS env var, else `fallback`.
+int fields_from_env(int fallback = 5);
+
+/// Simulated seconds per run: WSN_SIM_TIME env var, else `fallback`.
+double sim_seconds_from_env(double fallback = 400.0);
+
+}  // namespace wsn::scenario

@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace wsn::sim {
+
+EventHandle EventQueue::schedule(Time at, Callback fn) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(fn)});
+  pending_.insert(seq);
+  return EventHandle{seq};
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  if (!h.valid() || pending_.erase(h.seq_) == 0) return false;
+  // Lazy deletion: remember the sequence number and skip it on pop.
+  cancelled_.insert(h.seq_);
+  return true;
+}
+
+void EventQueue::drop_cancelled_top() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled_top();
+  return heap_.empty() ? Time::max() : heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_top();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  // priority_queue::top() is const&; the Entry is about to be discarded, so
+  // moving the callback out is safe.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.at, std::move(top.fn)};
+  pending_.erase(top.seq);
+  heap_.pop();
+  return fired;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  cancelled_.clear();
+  pending_.clear();
+}
+
+}  // namespace wsn::sim

@@ -1,0 +1,86 @@
+// Pending-event priority queue for the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wsn::sim {
+
+/// Opaque handle to a scheduled event; used to cancel it.
+///
+/// Handles are never reused within one queue, so a stale handle is a safe
+/// no-op to cancel.
+class EventHandle {
+ public:
+  constexpr EventHandle() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  constexpr bool operator==(const EventHandle&) const = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventHandle(std::uint64_t seq) : seq_{seq} {}
+  std::uint64_t seq_ = 0;
+};
+
+/// Min-heap of (time, insertion order) → callback.
+///
+/// Ties at equal time are dispatched in insertion order, which makes
+/// multi-node protocol interleavings deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at`. Returns a cancellation handle.
+  EventHandle schedule(Time at, Callback fn);
+
+  /// Cancels a pending event. Safe on already-fired or invalid handles.
+  /// Returns true iff the event was pending and is now cancelled.
+  bool cancel(EventHandle h);
+
+  /// True iff the handle refers to a still-pending event.
+  [[nodiscard]] bool pending(EventHandle h) const {
+    return h.valid() && pending_.contains(h.seq_);
+  }
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest pending event; Time::max() when empty.
+  [[nodiscard]] Time next_time() const;
+
+  /// Pops and returns the earliest pending event. Precondition: !empty().
+  struct Fired {
+    Time at;
+    Callback fn;
+  };
+  Fired pop();
+
+  void clear();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_top() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace wsn::sim

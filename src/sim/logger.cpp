@@ -1,0 +1,46 @@
+#include "sim/logger.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace wsn::sim {
+namespace {
+
+LogLevel parse_level(const char* s) {
+  if (s == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(s, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(s, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+LogLevel g_level = parse_level(std::getenv("WSN_LOG"));
+
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+void Logger::set_level(LogLevel lvl) { g_level = lvl; }
+
+void Logger::emit(LogLevel lvl, Time now, std::string_view component,
+                  const char* msg) {
+  std::fprintf(stderr, "[%11.6f] %s %-9.*s %s\n", now.as_seconds(),
+               level_name(lvl), static_cast<int>(component.size()),
+               component.data(), msg);
+}
+
+}  // namespace wsn::sim

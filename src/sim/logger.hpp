@@ -1,0 +1,52 @@
+// Minimal leveled logger with simulation-time prefixes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace wsn::sim {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-global log sink.
+///
+/// Level comes from the WSN_LOG environment variable
+/// (trace|debug|info|warn|error|off); default is warn so that large sweeps
+/// stay quiet. Not thread-safe by design: the simulator is single-threaded.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+
+  /// printf-style logging: `Logger::log(LogLevel::kDebug, now, "mac", "...", ...)`.
+  template <typename... Args>
+  static void log(LogLevel lvl, Time now, std::string_view component,
+                  const char* fmt, Args&&... args) {
+    if (!enabled(lvl)) return;
+    char msg[512];
+    if constexpr (sizeof...(Args) == 0) {
+      std::snprintf(msg, sizeof msg, "%s", fmt);
+    } else {
+      std::snprintf(msg, sizeof msg, fmt, std::forward<Args>(args)...);
+    }
+    emit(lvl, now, component, msg);
+  }
+
+ private:
+  static void emit(LogLevel lvl, Time now, std::string_view component,
+                   const char* msg);
+};
+
+#define WSN_LOG_AT(lvl, now, component, ...)                      \
+  do {                                                            \
+    if (::wsn::sim::Logger::enabled(lvl)) {                       \
+      ::wsn::sim::Logger::log(lvl, now, component, __VA_ARGS__);  \
+    }                                                             \
+  } while (false)
+
+}  // namespace wsn::sim

@@ -1,0 +1,20 @@
+#include "sim/simulator.hpp"
+
+namespace wsn::sim {
+
+std::uint64_t Simulator::run_until(Time until) {
+  stopped_ = false;
+  std::uint64_t dispatched_this_run = 0;
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.next_time() > until) break;
+    auto fired = queue_.pop();
+    now_ = fired.at;
+    fired.fn();
+    ++dispatched_;
+    ++dispatched_this_run;
+  }
+  if (until != Time::max() && now_ < until) now_ = until;
+  return dispatched_this_run;
+}
+
+}  // namespace wsn::sim

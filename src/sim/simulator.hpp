@@ -1,0 +1,63 @@
+// Discrete-event simulation driver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace wsn::sim {
+
+/// Single-threaded discrete-event simulator.
+///
+/// Owns the virtual clock and the pending-event queue. Protocol code
+/// schedules callbacks with `schedule_in`/`schedule_at` and reads the clock
+/// with `now()`. One Simulator instance corresponds to one experiment run.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` after a relative delay (clamped to be non-negative).
+  EventHandle schedule_in(Time delay, EventQueue::Callback fn) {
+    if (delay < Time::zero()) delay = Time::zero();
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at an absolute time (must not be in the past).
+  EventHandle schedule_at(Time at, EventQueue::Callback fn) {
+    if (at < now_) at = now_;
+    return queue_.schedule(at, std::move(fn));
+  }
+
+  bool cancel(EventHandle h) { return queue_.cancel(h); }
+  [[nodiscard]] bool pending(EventHandle h) const { return queue_.pending(h); }
+
+  /// Runs until the queue drains or `until` is reached, whichever first.
+  /// The clock ends at min(until, last event time). Returns the number of
+  /// events dispatched.
+  std::uint64_t run_until(Time until);
+
+  /// Runs until the queue drains.
+  std::uint64_t run() { return run_until(Time::max()); }
+
+  /// Requests that the run loop stop after the current event returns.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_dispatched() const {
+    return dispatched_;
+  }
+  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = Time::zero();
+  std::uint64_t dispatched_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace wsn::sim

@@ -1,0 +1,13 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace wsn::sim {
+
+std::string Time::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6fs", as_seconds());
+  return buf;
+}
+
+}  // namespace wsn::sim

@@ -1,0 +1,62 @@
+// Simulation time: integer nanoseconds for exact, deterministic ordering.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace wsn::sim {
+
+/// A point in simulated time, counted in nanoseconds from simulation start.
+///
+/// Integer ticks (rather than floating-point seconds) make event ordering
+/// exact and runs bit-reproducible across platforms.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  static constexpr Time nanos(std::int64_t n) { return Time{n}; }
+  static constexpr Time micros(std::int64_t u) { return Time{u * 1'000}; }
+  static constexpr Time millis(std::int64_t m) { return Time{m * 1'000'000}; }
+  static constexpr Time seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e9)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t as_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Time other) const { return Time{ns_ + other.ns_}; }
+  constexpr Time operator-(Time other) const { return Time{ns_ - other.ns_}; }
+  constexpr Time& operator+=(Time other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  constexpr Time operator*(std::int64_t k) const { return Time{ns_ * k}; }
+
+  /// Scale by a real factor (used for jitter: `delay * u` with u in [0,1)).
+  constexpr Time scaled(double f) const {
+    return Time{static_cast<std::int64_t>(static_cast<double>(ns_) * f)};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace wsn::sim

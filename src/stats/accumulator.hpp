@@ -1,0 +1,47 @@
+// Streaming statistics accumulators.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace wsn::stats {
+
+/// Welford online mean/variance with min/max tracking.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const {
+    return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+  [[nodiscard]] double min() const {
+    return n_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const {
+    return n_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace wsn::stats

@@ -1,0 +1,32 @@
+#include "stats/metrics.hpp"
+
+namespace wsn::stats {
+
+RunMetrics MetricsCollector::finalize(double total_energy_joules,
+                                      double total_active_energy_joules,
+                                      std::size_t node_count,
+                                      std::size_t sink_count) const {
+  RunMetrics m;
+  m.distinct_generated = distinct_generated();
+  m.distinct_received = distinct_received();
+  m.total_energy_joules = total_energy_joules;
+  m.total_active_energy_joules = total_active_energy_joules;
+
+  const double denom_ne =
+      node_count > 0 && m.distinct_received > 0
+          ? static_cast<double>(node_count) *
+                static_cast<double>(m.distinct_received)
+          : 0.0;
+  m.avg_dissipated_energy =
+      denom_ne > 0.0 ? total_energy_joules / denom_ne : 0.0;
+  m.avg_active_energy =
+      denom_ne > 0.0 ? total_active_energy_joules / denom_ne : 0.0;
+  m.avg_delay = delay_.mean();
+  const double denom = static_cast<double>(m.distinct_generated) *
+                       static_cast<double>(sink_count);
+  m.delivery_ratio =
+      denom > 0.0 ? static_cast<double>(m.distinct_received) / denom : 0.0;
+  return m;
+}
+
+}  // namespace wsn::stats

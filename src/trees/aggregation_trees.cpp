@@ -1,0 +1,176 @@
+#include "trees/aggregation_trees.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+namespace wsn::trees {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Walks the parent chain from `from` down to a vertex with distance 0,
+/// adding each edge to the tree. Returns the path vertices.
+std::vector<Vertex> add_parent_path(Tree& tree, const ShortestPaths& sp,
+                                    Vertex from) {
+  std::vector<Vertex> path;
+  Vertex v = from;
+  path.push_back(v);
+  while (sp.parent[v] != kNoVertex) {
+    const Vertex p = sp.parent[v];
+    tree.add_edge(v, p, sp.dist[v] - sp.dist[p]);
+    v = p;
+    path.push_back(v);
+  }
+  return path;
+}
+
+}  // namespace
+
+Tree shortest_path_tree(const Graph& g, Vertex sink,
+                        std::span<const Vertex> sources) {
+  Tree tree;
+  const ShortestPaths sp = dijkstra(g, sink);
+  for (Vertex s : sources) {
+    if (sp.dist[s] == kInf) {
+      tree.feasible = false;
+      continue;
+    }
+    add_parent_path(tree, sp, s);
+  }
+  return tree;
+}
+
+Tree greedy_incremental_tree(const Graph& g, Vertex sink,
+                             std::span<const Vertex> sources) {
+  Tree tree;
+  std::vector<Vertex> tree_vertices{sink};
+  std::vector<char> on_tree(g.vertex_count(), 0);
+  on_tree[sink] = 1;
+
+  for (Vertex s : sources) {
+    if (on_tree[s]) continue;  // a source already grafted (shared vertex)
+    const ShortestPaths sp = dijkstra_multi(g, tree_vertices);
+    if (sp.dist[s] == kInf) {
+      tree.feasible = false;
+      continue;
+    }
+    for (Vertex v : add_parent_path(tree, sp, s)) {
+      if (!on_tree[v]) {
+        on_tree[v] = 1;
+        tree_vertices.push_back(v);
+      }
+    }
+  }
+  return tree;
+}
+
+Tree steiner_tree_exact(const Graph& g, Vertex sink,
+                        std::span<const Vertex> sources) {
+  // Terminal list: sink + distinct sources.
+  std::vector<Vertex> terminals{sink};
+  for (Vertex s : sources) {
+    bool dup = false;
+    for (Vertex t : terminals) dup = dup || (t == s);
+    if (!dup) terminals.push_back(s);
+  }
+  const std::size_t k = terminals.size();
+  assert(k >= 1 && k <= 16 && "Dreyfus-Wagner is exponential in terminals");
+  const std::size_t n = g.vertex_count();
+  const std::uint32_t full = static_cast<std::uint32_t>((1u << k) - 1);
+
+  Tree tree;
+  if (k == 1) return tree;
+
+  // dp[S][v] = min weight of a tree spanning terminals(S) ∪ {v}.
+  std::vector<std::vector<double>> dp(full + 1,
+                                      std::vector<double>(n, kInf));
+  // Backpointers for reconstruction.
+  struct Back {
+    enum class Kind : std::uint8_t { kNone, kLeaf, kEdge, kMerge } kind =
+        Kind::kNone;
+    Vertex via = kNoVertex;      // kEdge: predecessor vertex
+    std::uint32_t subset = 0;    // kMerge: one side of the split
+  };
+  std::vector<std::vector<Back>> back(full + 1, std::vector<Back>(n));
+
+  for (std::size_t i = 0; i < k; ++i) {
+    dp[1u << i][terminals[i]] = 0.0;
+    back[1u << i][terminals[i]].kind = Back::Kind::kLeaf;
+  }
+
+  using Item = std::pair<double, Vertex>;
+  for (std::uint32_t S = 1; S <= full; ++S) {
+    auto& dpS = dp[S];
+    // Merge: combine two disjoint terminal subsets at the same vertex.
+    for (std::uint32_t T = (S - 1) & S; T != 0; T = (T - 1) & S) {
+      const std::uint32_t R = S ^ T;
+      if (T > R) continue;  // each unordered split once
+      for (Vertex v = 0; v < n; ++v) {
+        if (dp[T][v] == kInf || dp[R][v] == kInf) continue;
+        const double w = dp[T][v] + dp[R][v];
+        if (w < dpS[v]) {
+          dpS[v] = w;
+          back[S][v] = {Back::Kind::kMerge, kNoVertex, T};
+        }
+      }
+    }
+    // Grow: Dijkstra relaxation of dp[S][*] over graph edges.
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    for (Vertex v = 0; v < n; ++v) {
+      if (dpS[v] < kInf) pq.push({dpS[v], v});
+    }
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dpS[u]) continue;
+      for (const auto& e : g.adjacent(u)) {
+        const double nd = d + e.weight;
+        if (nd < dpS[e.to]) {
+          dpS[e.to] = nd;
+          back[S][e.to] = {Back::Kind::kEdge, u, 0};
+          pq.push({nd, e.to});
+        }
+      }
+    }
+  }
+
+  if (dp[full][sink] == kInf) {
+    tree.feasible = false;
+    return tree;
+  }
+
+  // Reconstruct edges.
+  struct Frame {
+    std::uint32_t S;
+    Vertex v;
+  };
+  std::vector<Frame> stack{{full, sink}};
+  while (!stack.empty()) {
+    const auto [S, v] = stack.back();
+    stack.pop_back();
+    const Back& b = back[S][v];
+    switch (b.kind) {
+      case Back::Kind::kLeaf:
+        break;
+      case Back::Kind::kEdge: {
+        // Find the connecting edge's weight.
+        double w = dp[S][v] - dp[S][b.via];
+        tree.add_edge(v, b.via, w);
+        stack.push_back({S, b.via});
+        break;
+      }
+      case Back::Kind::kMerge:
+        stack.push_back({b.subset, v});
+        stack.push_back({S ^ b.subset, v});
+        break;
+      case Back::Kind::kNone:
+        assert(false && "broken backpointer chain");
+        break;
+    }
+  }
+  return tree;
+}
+
+}  // namespace wsn::trees

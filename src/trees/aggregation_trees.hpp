@@ -1,0 +1,49 @@
+// Aggregation-tree constructions: SPT, greedy incremental tree, exact Steiner.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "trees/graph.hpp"
+
+namespace wsn::trees {
+
+/// An aggregation tree connecting sources to a sink. With perfect
+/// aggregation the energy cost of using the tree is the number of edges
+/// (paper §1), so `total_weight` over unit-weight graphs equals the
+/// transmission count per distinct event round.
+struct Tree {
+  std::set<std::pair<Vertex, Vertex>> edges;  ///< canonical (min,max) pairs
+  double total_weight = 0.0;
+  bool feasible = true;  ///< false if some source cannot reach the sink
+
+  void add_edge(Vertex u, Vertex v, double w) {
+    if (u > v) std::swap(u, v);
+    if (edges.emplace(u, v).second) total_weight += w;
+  }
+};
+
+/// Shortest-path tree: union of each source's shortest path to the sink
+/// (single Dijkstra from the sink, deterministic tie-breaks). Aggregation
+/// happens wherever paths overlap by chance — the abstract analogue of
+/// opportunistic aggregation.
+Tree shortest_path_tree(const Graph& g, Vertex sink,
+                        std::span<const Vertex> sources);
+
+/// Greedy incremental tree (Takahashi–Matsuyama): connect the first source
+/// to the sink via a shortest path, then each subsequent source via a
+/// shortest path to the *closest point of the existing tree* — the
+/// paper's GIT (§1, §4). Sources are processed in the given order.
+Tree greedy_incremental_tree(const Graph& g, Vertex sink,
+                             std::span<const Vertex> sources);
+
+/// Exact minimum Steiner tree via Dreyfus–Wagner dynamic programming.
+/// O(3^k·n + 2^k·n log n); use with <= ~12 terminals. Terminals =
+/// {sink} ∪ sources.
+Tree steiner_tree_exact(const Graph& g, Vertex sink,
+                        std::span<const Vertex> sources);
+
+}  // namespace wsn::trees

@@ -1,0 +1,56 @@
+#include "trees/graph.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "net/topology.hpp"
+
+namespace wsn::trees {
+
+Graph graph_from_topology(const net::Topology& topo) {
+  Graph g{topo.node_count()};
+  for (net::NodeId u = 0; u < topo.node_count(); ++u) {
+    for (net::NodeId v : topo.neighbors(u)) {
+      if (v > u) g.add_edge(u, v, 1.0);
+    }
+  }
+  return g;
+}
+
+ShortestPaths dijkstra(const Graph& g, Vertex src) {
+  const Vertex seeds[] = {src};
+  return dijkstra_multi(g, seeds);
+}
+
+ShortestPaths dijkstra_multi(const Graph& g, std::span<const Vertex> seeds) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ShortestPaths sp;
+  sp.dist.assign(g.vertex_count(), kInf);
+  sp.parent.assign(g.vertex_count(), kNoVertex);
+
+  using Item = std::pair<double, Vertex>;  // (dist, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (Vertex s : seeds) {
+    sp.dist[s] = 0.0;
+    pq.push({0.0, s});
+  }
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > sp.dist[u]) continue;
+    for (const auto& e : g.adjacent(u)) {
+      const double nd = d + e.weight;
+      if (nd < sp.dist[e.to] ||
+          // Deterministic tie-break on equal distance: lower parent id.
+          (nd == sp.dist[e.to] && sp.parent[e.to] != kNoVertex &&
+           u < sp.parent[e.to])) {
+        sp.dist[e.to] = nd;
+        sp.parent[e.to] = u;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  return sp;
+}
+
+}  // namespace wsn::trees

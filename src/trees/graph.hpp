@@ -1,0 +1,57 @@
+// Weighted undirected graph + shortest-path primitives for tree studies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wsn::net {
+class Topology;
+}
+
+namespace wsn::trees {
+
+using Vertex = std::uint32_t;
+inline constexpr Vertex kNoVertex = static_cast<Vertex>(-1);
+
+/// Adjacency-list weighted undirected graph.
+class Graph {
+ public:
+  struct Edge {
+    Vertex to;
+    double weight;
+  };
+
+  explicit Graph(std::size_t n) : adj_(n) {}
+
+  void add_edge(Vertex u, Vertex v, double w) {
+    adj_[u].push_back({v, w});
+    adj_[v].push_back({u, w});
+    ++edge_count_;
+  }
+
+  [[nodiscard]] std::size_t vertex_count() const { return adj_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+  [[nodiscard]] std::span<const Edge> adjacent(Vertex u) const {
+    return {adj_[u].data(), adj_[u].size()};
+  }
+
+ private:
+  std::vector<std::vector<Edge>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Unit-weight graph over a unit-disk topology (1 hop = 1 transmission).
+Graph graph_from_topology(const net::Topology& topo);
+
+/// Single-source shortest paths (Dijkstra).
+struct ShortestPaths {
+  std::vector<double> dist;     ///< +inf when unreachable
+  std::vector<Vertex> parent;   ///< kNoVertex at the root / unreachable
+};
+ShortestPaths dijkstra(const Graph& g, Vertex src);
+
+/// Multi-source Dijkstra: distance to the nearest seed (all seeds at 0).
+ShortestPaths dijkstra_multi(const Graph& g, std::span<const Vertex> seeds);
+
+}  // namespace wsn::trees

@@ -1,0 +1,88 @@
+// Cross-module integration tests: the paper's headline comparisons in
+// miniature (shorter runs, single seeds — the full sweeps live in bench/).
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace wsn {
+namespace {
+
+using scenario::ExperimentConfig;
+using scenario::RunResult;
+using scenario::run_experiment;
+
+ExperimentConfig config(core::Algorithm alg, std::size_t nodes,
+                        std::uint64_t seed = 3, double seconds = 150.0) {
+  ExperimentConfig cfg;
+  cfg.field.nodes = nodes;
+  cfg.algorithm = alg;
+  cfg.duration = sim::Time::seconds(seconds);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Integration, BothAlgorithmsDeliverAtModerateDensity) {
+  for (auto alg : {core::Algorithm::kOpportunistic, core::Algorithm::kGreedy}) {
+    const RunResult res = run_experiment(config(alg, 100));
+    EXPECT_GT(res.metrics.delivery_ratio, 0.9) << core::to_string(alg);
+  }
+}
+
+TEST(Integration, GreedySavesTransmissionsAtHighDensity) {
+  // The paper's core claim, in miniature: at high density the greedy tree
+  // shares paths, so it puts materially fewer frames on the air while
+  // delivering comparably.
+  const RunResult opp =
+      run_experiment(config(core::Algorithm::kOpportunistic, 200));
+  const RunResult greedy = run_experiment(config(core::Algorithm::kGreedy, 200));
+
+  EXPECT_GT(opp.metrics.delivery_ratio, 0.85);
+  EXPECT_GT(greedy.metrics.delivery_ratio, 0.85);
+  EXPECT_LT(greedy.frames_sent, opp.frames_sent);
+  EXPECT_LT(greedy.metrics.avg_active_energy,
+            opp.metrics.avg_active_energy * 0.85);
+}
+
+TEST(Integration, GreedyTreeIsSmallerAtHighDensity) {
+  const RunResult opp =
+      run_experiment(config(core::Algorithm::kOpportunistic, 200));
+  const RunResult greedy = run_experiment(config(core::Algorithm::kGreedy, 200));
+  // Final data-gradient edge count: the greedy incremental tree is leaner.
+  EXPECT_LT(greedy.tree_edges.size(), opp.tree_edges.size() + 1);
+}
+
+TEST(Integration, DelayStaysSubSecondForBoth) {
+  for (auto alg : {core::Algorithm::kOpportunistic, core::Algorithm::kGreedy}) {
+    const RunResult res = run_experiment(config(alg, 150));
+    EXPECT_GT(res.metrics.avg_delay, 0.0) << core::to_string(alg);
+    EXPECT_LT(res.metrics.avg_delay, 1.0) << core::to_string(alg);
+  }
+}
+
+TEST(Integration, FailuresHurtLowDensityMore) {
+  // Fig 6 mechanism check at one point: with failures on, delivery drops
+  // but the protocol keeps repairing (ratio stays well above zero).
+  auto cfg = config(core::Algorithm::kGreedy, 120, 7, 150.0);
+  cfg.failures.enabled = true;
+  const RunResult res = run_experiment(cfg);
+  EXPECT_GT(res.metrics.delivery_ratio, 0.4);
+  EXPECT_LT(res.metrics.delivery_ratio, 1.0);
+}
+
+TEST(Integration, ProtocolOverheadScalesWithDensity) {
+  // Interest flooding costs grow with node count (paper: energy rises with
+  // network size for both schemes).
+  const RunResult lo = run_experiment(config(core::Algorithm::kGreedy, 60));
+  const RunResult hi = run_experiment(config(core::Algorithm::kGreedy, 200));
+  EXPECT_GT(hi.protocol.interests_sent, lo.protocol.interests_sent * 2);
+}
+
+TEST(Integration, ActiveEnergyIsMinorityOfTotalAtThisWorkload) {
+  // Documents the idle-floor effect analysed in EXPERIMENTS.md.
+  const RunResult res = run_experiment(config(core::Algorithm::kGreedy, 100));
+  EXPECT_LT(res.metrics.total_active_energy_joules,
+            res.metrics.total_energy_joules * 0.5);
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,289 @@
+// Unit tests for the wireless channel, CSMA/CA MAC and energy model.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mac/channel.hpp"
+#include "mac/csma_mac.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace wsn::mac {
+namespace {
+
+struct TestUser final : MacUser {
+  std::vector<net::Frame> received;
+  int failed = 0;
+  int succeeded = 0;
+
+  void mac_receive(const net::Frame& f) override { received.push_back(f); }
+  void mac_send_failed(const net::Frame&) override { ++failed; }
+  void mac_send_succeeded(const net::Frame&) override { ++succeeded; }
+};
+
+/// Small fixture: a topology with one MAC + user per node.
+class MacRig {
+ public:
+  MacRig(std::vector<net::Vec2> positions, double range, double cs_range = 0.0)
+      : topo_{std::move(positions), range, cs_range}, channel_{sim_, topo_} {
+    for (net::NodeId i = 0; i < topo_.node_count(); ++i) {
+      users_.push_back(std::make_unique<TestUser>());
+      macs_.push_back(std::make_unique<CsmaMac>(sim_, channel_, i, phy_,
+                                                energy_, sim::Rng{100 + i}));
+      macs_.back()->set_user(users_.back().get());
+    }
+  }
+
+  CsmaMac& mac(net::NodeId i) { return *macs_[i]; }
+  TestUser& user(net::NodeId i) { return *users_[i]; }
+  sim::Simulator& sim() { return sim_; }
+  const PhyParams& phy() const { return phy_; }
+  const EnergyParams& energy() const { return energy_; }
+
+  static net::Frame frame(net::NodeId dst, std::uint32_t bytes = 64) {
+    net::Frame f;
+    f.dst = dst;
+    f.bytes = bytes;
+    return f;
+  }
+
+ private:
+  sim::Simulator sim_;
+  net::Topology topo_;
+  Channel channel_;
+  PhyParams phy_;
+  EnergyParams energy_;
+  std::vector<std::unique_ptr<TestUser>> users_;
+  std::vector<std::unique_ptr<CsmaMac>> macs_;
+};
+
+TEST(PhyParams, AirtimeMath) {
+  PhyParams phy;
+  // 64B payload + 28B header = 92B = 736 bits at 1.6 Mbps = 460 µs + preamble.
+  const auto t = phy.frame_airtime(64);
+  EXPECT_EQ(t.as_nanos(), (phy.preamble + sim::Time::micros(460)).as_nanos());
+  EXPECT_GT(phy.ack_airtime(), phy.preamble);
+  EXPECT_GT(phy.ack_timeout(), phy.ack_airtime());
+}
+
+TEST(Mac, UnicastDeliveredAndAcked) {
+  MacRig rig{{{0, 0}, {20, 0}}, 40.0};
+  rig.mac(0).send(MacRig::frame(1));
+  rig.sim().run();
+  ASSERT_EQ(rig.user(1).received.size(), 1u);
+  EXPECT_EQ(rig.user(1).received[0].src, 0u);
+  EXPECT_EQ(rig.user(1).received[0].bytes, 64u);
+  EXPECT_EQ(rig.user(0).succeeded, 1);
+  EXPECT_EQ(rig.user(0).failed, 0);
+  EXPECT_EQ(rig.mac(0).stats().frames_sent, 1u);
+  EXPECT_EQ(rig.mac(1).stats().acks_sent, 1u);
+}
+
+TEST(Mac, BroadcastReachesOnlyNodesInRange) {
+  MacRig rig{{{0, 0}, {20, 0}, {39, 0}, {120, 0}}, 40.0};
+  rig.mac(0).send(MacRig::frame(net::kBroadcast));
+  rig.sim().run();
+  EXPECT_EQ(rig.user(1).received.size(), 1u);
+  EXPECT_EQ(rig.user(2).received.size(), 1u);
+  EXPECT_EQ(rig.user(3).received.size(), 0u);
+  // No ACKs for broadcast.
+  EXPECT_EQ(rig.mac(1).stats().acks_sent, 0u);
+  EXPECT_EQ(rig.user(0).succeeded, 0);
+}
+
+TEST(Mac, OverheardUnicastIsNotDelivered) {
+  MacRig rig{{{0, 0}, {20, 0}, {30, 0}}, 40.0};
+  rig.mac(0).send(MacRig::frame(1));
+  rig.sim().run();
+  EXPECT_EQ(rig.user(1).received.size(), 1u);
+  EXPECT_EQ(rig.user(2).received.size(), 0u);  // heard but not for it
+}
+
+TEST(Mac, HiddenTerminalBroadcastsCollideAtTheMiddle) {
+  // 0 and 2 cannot hear each other; both transmit at t=0 → 1 decodes nothing.
+  MacRig rig{{{0, 0}, {35, 0}, {70, 0}}, 40.0};
+  rig.mac(0).send(MacRig::frame(net::kBroadcast));
+  rig.mac(2).send(MacRig::frame(net::kBroadcast));
+  rig.sim().run();
+  EXPECT_EQ(rig.user(1).received.size(), 0u);
+  EXPECT_GE(rig.mac(1).stats().arrivals_corrupted, 2u);
+}
+
+TEST(Mac, CarrierSenseSerializesNeighbours) {
+  // 0 and 1 hear each other; both broadcast "simultaneously": the second
+  // defers, so 2 receives both frames cleanly.
+  MacRig rig{{{0, 0}, {10, 0}, {30, 0}}, 40.0};
+  rig.mac(0).send(MacRig::frame(net::kBroadcast));
+  rig.mac(1).send(MacRig::frame(net::kBroadcast));
+  rig.sim().run();
+  EXPECT_EQ(rig.user(2).received.size(), 2u);
+}
+
+TEST(Mac, UnicastToDeadNodeFailsAfterRetries) {
+  MacRig rig{{{0, 0}, {20, 0}}, 40.0};
+  rig.mac(1).set_alive(false);
+  rig.mac(0).send(MacRig::frame(1));
+  rig.sim().run();
+  EXPECT_EQ(rig.user(0).failed, 1);
+  EXPECT_EQ(rig.mac(0).stats().drops_retry_exhausted, 1u);
+  EXPECT_EQ(rig.mac(0).stats().retries,
+            static_cast<std::uint64_t>(rig.phy().max_retries));
+  EXPECT_EQ(rig.user(1).received.size(), 0u);
+}
+
+TEST(Mac, QueueOverflowDrops) {
+  MacRig rig{{{0, 0}, {20, 0}}, 40.0};
+  for (std::size_t i = 0; i < rig.phy().queue_limit + 5; ++i) {
+    rig.mac(0).send(MacRig::frame(1));
+  }
+  EXPECT_EQ(rig.mac(0).stats().drops_queue_full, 5u);
+  rig.sim().run();
+  EXPECT_EQ(rig.user(1).received.size(), rig.phy().queue_limit);
+}
+
+TEST(Mac, DeadSenderDropsOutgoing) {
+  MacRig rig{{{0, 0}, {20, 0}}, 40.0};
+  rig.mac(0).set_alive(false);
+  rig.mac(0).send(MacRig::frame(1));
+  rig.sim().run();
+  EXPECT_EQ(rig.mac(0).stats().frames_sent, 0u);
+  EXPECT_EQ(rig.user(1).received.size(), 0u);
+}
+
+TEST(Mac, MidFlightAbortCorruptsReception) {
+  MacRig rig{{{0, 0}, {20, 0}}, 40.0};
+  rig.mac(0).send(MacRig::frame(net::kBroadcast, 1000));  // long frame
+  // Kill the sender while the frame is in the air.
+  rig.sim().schedule_in(sim::Time::micros(300),
+                        [&] { rig.mac(0).set_alive(false); });
+  rig.sim().run();
+  EXPECT_EQ(rig.user(1).received.size(), 0u);
+}
+
+TEST(Energy, IdleOnlyAccumulatesIdlePower) {
+  MacRig rig{{{0, 0}, {20, 0}}, 40.0};
+  rig.sim().schedule_in(sim::Time::seconds(10.0), [] {});
+  rig.sim().run();
+  const double j = rig.mac(0).energy_joules(rig.sim().now());
+  EXPECT_NEAR(j, rig.energy().idle_watts * 10.0, 1e-9);
+  EXPECT_NEAR(rig.mac(0).active_energy_joules(rig.sim().now()), 0.0, 1e-12);
+}
+
+TEST(Energy, TransmitAndReceiveAreCharged) {
+  MacRig rig{{{0, 0}, {20, 0}}, 40.0};
+  rig.mac(0).send(MacRig::frame(net::kBroadcast));
+  rig.sim().schedule_in(sim::Time::seconds(1.0), [] {});
+  rig.sim().run();
+  const double airtime = rig.phy().frame_airtime(64).as_seconds();
+  const double tx_extra = (rig.energy().tx_watts - rig.energy().idle_watts) * airtime;
+  const double rx_extra = (rig.energy().rx_watts - rig.energy().idle_watts) * airtime;
+
+  const double sender = rig.mac(0).energy_joules(rig.sim().now());
+  const double receiver = rig.mac(1).energy_joules(rig.sim().now());
+  const double baseline = rig.energy().idle_watts * 1.0;
+  EXPECT_NEAR(sender, baseline + tx_extra, 1e-5);
+  EXPECT_NEAR(receiver, baseline + rx_extra, 1e-5);
+  EXPECT_NEAR(rig.mac(0).active_energy_joules(rig.sim().now()),
+              rig.energy().tx_watts * airtime, 1e-5);
+}
+
+TEST(Energy, DeadNodeDrawsNothing) {
+  MacRig rig{{{0, 0}, {20, 0}}, 40.0};
+  rig.mac(0).set_alive(false);
+  rig.sim().schedule_in(sim::Time::seconds(5.0), [] {});
+  rig.sim().run();
+  EXPECT_NEAR(rig.mac(0).energy_joules(rig.sim().now()), 0.0, 1e-12);
+}
+
+TEST(Energy, CarrierSenseOnlyArrivalBurnsReceivePower) {
+  // Node 1 at 50 m: audible (cs 88 m) but cannot decode (range 40 m).
+  MacRig rig{{{0, 0}, {50, 0}}, 40.0, 88.0};
+  rig.mac(0).send(MacRig::frame(net::kBroadcast));
+  rig.sim().schedule_in(sim::Time::seconds(1.0), [] {});
+  rig.sim().run();
+  EXPECT_EQ(rig.user(1).received.size(), 0u);
+  const double airtime = rig.phy().frame_airtime(64).as_seconds();
+  EXPECT_NEAR(rig.mac(1).active_energy_joules(rig.sim().now()),
+              rig.energy().rx_watts * airtime, 1e-5);
+}
+
+TEST(Mac, RevivedNodeWorksAgain) {
+  MacRig rig{{{0, 0}, {20, 0}}, 40.0};
+  rig.mac(1).set_alive(false);
+  rig.mac(1).set_alive(true);
+  rig.mac(0).send(MacRig::frame(1));
+  rig.sim().run();
+  EXPECT_EQ(rig.user(1).received.size(), 1u);
+}
+
+TEST(Mac, ManyUnicastsAllDelivered) {
+  MacRig rig{{{0, 0}, {20, 0}}, 40.0};
+  for (int i = 0; i < 50; ++i) rig.mac(0).send(MacRig::frame(1));
+  rig.sim().run();
+  EXPECT_EQ(rig.user(1).received.size(), 50u);
+  EXPECT_EQ(rig.user(0).succeeded, 50);
+}
+
+// Fuzz: random traffic over a random topology; structural invariants must
+// hold regardless of collisions, retries and queue drops.
+class MacFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MacFuzz, InvariantsUnderRandomTraffic) {
+  sim::Rng rng{GetParam()};
+  std::vector<net::Vec2> pts;
+  const std::size_t n = 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, 90.0), rng.uniform(0.0, 90.0)});
+  }
+  MacRig rig{pts, 40.0, 88.0};
+  std::uint64_t submitted = 0;
+  for (int burst = 0; burst < 20; ++burst) {
+    rig.sim().schedule_in(sim::Time::millis(rng.uniform_int(0, 500)), [&rig,
+                                                                       &rng,
+                                                                       n] {
+      const auto src = static_cast<net::NodeId>(rng.uniform_int(0, n - 1));
+      const auto dst_roll = rng.uniform_int(0, static_cast<std::int64_t>(n));
+      const net::NodeId dst = dst_roll == static_cast<std::int64_t>(n)
+                                  ? net::kBroadcast
+                                  : static_cast<net::NodeId>(dst_roll);
+      if (dst != src) rig.mac(src).send(MacRig::frame(dst, 64));
+    });
+    ++submitted;
+  }
+  rig.sim().run();
+
+  std::uint64_t sent = 0, delivered = 0, drops = 0;
+  for (net::NodeId i = 0; i < n; ++i) {
+    const auto& st = rig.mac(i).stats();
+    sent += st.frames_sent;
+    delivered += st.frames_delivered;
+    drops += st.drops_queue_full + st.drops_retry_exhausted;
+    // Energy is always within the physical envelope.
+    const double j = rig.mac(i).energy_joules(rig.sim().now());
+    EXPECT_GE(j, 0.0);
+    EXPECT_LE(j, rig.energy().tx_watts * rig.sim().now().as_seconds() + 1e-9);
+  }
+  // Every submission was either put on the air (possibly several times,
+  // counting retries) or dropped.
+  EXPECT_LE(drops, submitted);
+  EXPECT_GT(sent + drops, 0u);
+  // Nothing is delivered that was never transmitted.
+  EXPECT_LE(delivered, sent * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MacFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Mac, BidirectionalTrafficCompletes) {
+  MacRig rig{{{0, 0}, {20, 0}}, 40.0};
+  for (int i = 0; i < 20; ++i) {
+    rig.mac(0).send(MacRig::frame(1));
+    rig.mac(1).send(MacRig::frame(0));
+  }
+  rig.sim().run();
+  EXPECT_EQ(rig.user(1).received.size(), 20u);
+  EXPECT_EQ(rig.user(0).received.size(), 20u);
+}
+
+}  // namespace
+}  // namespace wsn::mac

@@ -1,0 +1,184 @@
+// Unit tests for geometry, topology and field generation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/field.hpp"
+#include "net/topology.hpp"
+#include "net/vec2.hpp"
+#include "sim/random.hpp"
+
+namespace wsn::net {
+namespace {
+
+TEST(Vec2, BasicOps) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, a), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({1, 1}, {4, 5}), 25.0);
+  EXPECT_EQ((a + Vec2{1, 1}), (Vec2{4, 5}));
+  EXPECT_EQ((a - Vec2{1, 1}), (Vec2{2, 3}));
+  EXPECT_EQ((a * 2.0), (Vec2{6, 8}));
+}
+
+TEST(Rect, Contains) {
+  const Rect r{0, 0, 80, 80};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({80, 80}));
+  EXPECT_TRUE(r.contains({40, 40}));
+  EXPECT_FALSE(r.contains({80.1, 40}));
+  EXPECT_FALSE(r.contains({-0.1, 40}));
+  EXPECT_DOUBLE_EQ(r.width(), 80.0);
+  EXPECT_DOUBLE_EQ(r.height(), 80.0);
+}
+
+TEST(Rect, DistanceTo) {
+  const Rect r{0, 0, 80, 80};
+  EXPECT_DOUBLE_EQ(r.distance_to({40, 40}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(r.distance_to({80, 80}), 0.0);   // on the corner
+  EXPECT_DOUBLE_EQ(r.distance_to({90, 40}), 10.0);  // right of it
+  EXPECT_DOUBLE_EQ(r.distance_to({40, -5}), 5.0);   // below it
+  EXPECT_DOUBLE_EQ(r.distance_to({83, 84}), 5.0);   // diagonal (3,4,5)
+}
+
+TEST(Vec2, DistanceToSegment) {
+  // Horizontal segment from (0,0) to (10,0).
+  EXPECT_DOUBLE_EQ(distance_to_segment({5, 3}, {0, 0}, {10, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(distance_to_segment({-3, 4}, {0, 0}, {10, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_to_segment({13, 4}, {0, 0}, {10, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_to_segment({5, 0}, {0, 0}, {10, 0}), 0.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(distance_to_segment({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(Topology, LineNeighbors) {
+  // Nodes at x = 0, 30, 60, 90 with range 40: chain adjacency.
+  Topology t{{{0, 0}, {30, 0}, {60, 0}, {90, 0}}, 40.0};
+  EXPECT_EQ(t.node_count(), 4u);
+  ASSERT_EQ(t.neighbors(0).size(), 1u);
+  EXPECT_EQ(t.neighbors(0)[0], 1u);
+  ASSERT_EQ(t.neighbors(1).size(), 2u);
+  EXPECT_EQ(t.neighbors(1)[0], 0u);
+  EXPECT_EQ(t.neighbors(1)[1], 2u);
+  EXPECT_TRUE(t.in_range(0, 1));
+  EXPECT_FALSE(t.in_range(0, 2));
+  EXPECT_FALSE(t.in_range(2, 2));  // never its own neighbour
+}
+
+TEST(Topology, RangeIsExclusiveAtBoundary) {
+  Topology t{{{0, 0}, {40, 0}}, 40.0};
+  EXPECT_FALSE(t.in_range(0, 1));  // strictly-less-than range
+  EXPECT_TRUE(t.neighbors(0).empty());
+}
+
+TEST(Topology, ConnectedAndHops) {
+  Topology chain{{{0, 0}, {30, 0}, {60, 0}, {90, 0}}, 40.0};
+  EXPECT_TRUE(chain.connected());
+  EXPECT_EQ(chain.hop_distance(0, 3), 3);
+  EXPECT_EQ(chain.hop_distance(0, 0), 0);
+
+  Topology split{{{0, 0}, {30, 0}, {200, 0}}, 40.0};
+  EXPECT_FALSE(split.connected());
+  EXPECT_EQ(split.hop_distance(0, 2), -1);
+}
+
+TEST(Topology, AverageDegree) {
+  Topology t{{{0, 0}, {10, 0}, {20, 0}}, 15.0};
+  // 0-1 and 1-2 in range; 0-2 not. Degrees 1,2,1.
+  EXPECT_DOUBLE_EQ(t.average_degree(), 4.0 / 3.0);
+}
+
+TEST(Topology, AudibleIsSupersetOfNeighbors) {
+  Topology t{{{0, 0}, {50, 0}, {100, 0}}, 40.0, 88.0};
+  // 0-1: 50m → audible only. 0-2: 100m → neither.
+  EXPECT_TRUE(t.neighbors(0).empty());
+  ASSERT_EQ(t.audible(0).size(), 1u);
+  EXPECT_EQ(t.audible(0)[0], 1u);
+  ASSERT_EQ(t.audible(1).size(), 2u);
+  EXPECT_DOUBLE_EQ(t.carrier_sense_range(), 88.0);
+}
+
+TEST(Topology, DefaultCarrierSenseEqualsRange) {
+  Topology t{{{0, 0}, {30, 0}}, 40.0};
+  EXPECT_DOUBLE_EQ(t.carrier_sense_range(), 40.0);
+  EXPECT_EQ(t.audible(0).size(), t.neighbors(0).size());
+}
+
+// Property: grid-accelerated neighbour lists match the O(n²) definition.
+class TopologyProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(TopologyProperty, MatchesBruteForce) {
+  const auto [n, seed] = GetParam();
+  sim::Rng rng{seed};
+  net::FieldSpec spec;
+  spec.nodes = n;
+  const auto pts = generate_uniform_field(spec, rng);
+  const Topology t{pts, spec.radio_range_m, spec.carrier_sense_range_m};
+
+  for (NodeId i = 0; i < n; ++i) {
+    std::vector<NodeId> expected;
+    std::vector<NodeId> expected_audible;
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double d = distance(pts[i], pts[j]);
+      if (d < spec.radio_range_m) expected.push_back(j);
+      if (d < spec.carrier_sense_range_m) expected_audible.push_back(j);
+    }
+    const auto got = t.neighbors(i);
+    ASSERT_EQ(std::vector<NodeId>(got.begin(), got.end()), expected)
+        << "node " << i;
+    const auto got_a = t.audible(i);
+    ASSERT_EQ(std::vector<NodeId>(got_a.begin(), got_a.end()),
+              expected_audible)
+        << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopologyProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(10, 50, 150),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(Field, UniformFieldInsideSquare) {
+  sim::Rng rng{21};
+  FieldSpec spec;
+  spec.nodes = 500;
+  const auto pts = generate_uniform_field(spec, rng);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, spec.side_m);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, spec.side_m);
+  }
+}
+
+TEST(Field, ConnectedFieldIsConnectedAtPaperDensities) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::Rng rng{seed};
+    FieldSpec spec;
+    spec.nodes = 150;  // ≈19 neighbours: connected w.h.p.
+    const auto pts = generate_connected_field(spec, rng);
+    EXPECT_TRUE(Topology(pts, spec.radio_range_m).connected())
+        << "seed " << seed;
+  }
+}
+
+TEST(Field, PaperDensityRangeMatchesNeighbourCounts) {
+  // The paper: 50..350 nodes ↔ about 6 to 43 neighbours on average.
+  sim::Rng rng{2};
+  FieldSpec lo;
+  lo.nodes = 50;
+  const Topology tlo{generate_uniform_field(lo, rng), lo.radio_range_m};
+  EXPECT_NEAR(tlo.average_degree(), 6.0, 3.0);
+
+  FieldSpec hi;
+  hi.nodes = 350;
+  const Topology thi{generate_uniform_field(hi, rng), hi.radio_range_m};
+  EXPECT_NEAR(thi.average_degree(), 43.0, 10.0);
+}
+
+}  // namespace
+}  // namespace wsn::net

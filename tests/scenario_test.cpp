@@ -1,0 +1,189 @@
+// Tests for the experiment runner, placement and failure machinery.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "scenario/experiment.hpp"
+#include "scenario/sweep.hpp"
+
+namespace wsn::scenario {
+namespace {
+
+ExperimentConfig small_config(core::Algorithm alg,
+                              std::size_t nodes = 70,
+                              double seconds = 80.0) {
+  ExperimentConfig cfg;
+  cfg.field.nodes = nodes;
+  cfg.algorithm = alg;
+  cfg.duration = sim::Time::seconds(seconds);
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Experiment, CornerPlacementRespectsRects) {
+  const auto cfg = small_config(core::Algorithm::kOpportunistic);
+  const RunResult res = run_experiment(cfg);
+  EXPECT_EQ(res.sources.size(), cfg.num_sources);
+  EXPECT_EQ(res.sinks.size(), cfg.num_sinks);
+  for (net::NodeId s : res.sources) {
+    EXPECT_NE(s, res.sinks[0]);
+  }
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  const auto cfg = small_config(core::Algorithm::kGreedy, 60, 60.0);
+  const RunResult a = run_experiment(cfg);
+  const RunResult b = run_experiment(cfg);
+  EXPECT_EQ(a.metrics.distinct_generated, b.metrics.distinct_generated);
+  EXPECT_EQ(a.metrics.distinct_received, b.metrics.distinct_received);
+  EXPECT_DOUBLE_EQ(a.metrics.avg_dissipated_energy,
+                   b.metrics.avg_dissipated_energy);
+  EXPECT_DOUBLE_EQ(a.metrics.avg_delay, b.metrics.avg_delay);
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.tree_edges, b.tree_edges);
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  auto cfg = small_config(core::Algorithm::kOpportunistic, 60, 60.0);
+  const RunResult a = run_experiment(cfg);
+  cfg.seed = 6;
+  const RunResult b = run_experiment(cfg);
+  EXPECT_NE(a.frames_sent, b.frames_sent);
+}
+
+TEST(Experiment, DeliversOnStaticField) {
+  for (auto alg : {core::Algorithm::kOpportunistic, core::Algorithm::kGreedy}) {
+    const RunResult res = run_experiment(small_config(alg));
+    EXPECT_GT(res.metrics.delivery_ratio, 0.9) << core::to_string(alg);
+    EXPECT_GT(res.metrics.avg_dissipated_energy, 0.0);
+    EXPECT_GT(res.metrics.avg_delay, 0.0);
+    EXPECT_LT(res.metrics.avg_delay, 2.0);
+    EXPECT_FALSE(res.tree_edges.empty());
+  }
+}
+
+TEST(Experiment, EnergyIsBoundedByPhysics) {
+  const auto cfg = small_config(core::Algorithm::kOpportunistic);
+  const RunResult res = run_experiment(cfg);
+  const double t = cfg.duration.as_seconds();
+  const double n = static_cast<double>(cfg.field.nodes);
+  // Total energy within [all-idle, all-transmit] envelope.
+  EXPECT_GE(res.metrics.total_energy_joules,
+            cfg.energy.idle_watts * t * n * 0.99);
+  EXPECT_LE(res.metrics.total_energy_joules, cfg.energy.tx_watts * t * n);
+  EXPECT_LT(res.metrics.total_active_energy_joules,
+            res.metrics.total_energy_joules);
+}
+
+TEST(Experiment, FailuresReduceDeliveryButNotFatally) {
+  auto cfg = small_config(core::Algorithm::kOpportunistic, 90, 100.0);
+  const double base = run_experiment(cfg).metrics.delivery_ratio;
+  cfg.failures.enabled = true;
+  const RunResult res = run_experiment(cfg);
+  EXPECT_LT(res.metrics.delivery_ratio, 1.0);
+  EXPECT_GT(res.metrics.delivery_ratio, 0.3);
+  EXPECT_LE(res.metrics.delivery_ratio, base + 0.05);
+}
+
+TEST(Experiment, MultiSinkDeliversToAll) {
+  auto cfg = small_config(core::Algorithm::kGreedy, 90, 80.0);
+  cfg.num_sinks = 3;
+  const RunResult res = run_experiment(cfg);
+  ASSERT_EQ(res.sinks.size(), 3u);
+  // All three sinks counted: normalised ratio stays high only if each sink
+  // receives most events.
+  EXPECT_GT(res.metrics.delivery_ratio, 0.7);
+  EXPECT_GT(res.metrics.distinct_received,
+            res.metrics.distinct_generated);  // > 1 sink's worth
+}
+
+TEST(Experiment, RandomPlacementWorks) {
+  auto cfg = small_config(core::Algorithm::kGreedy);
+  cfg.source_placement = SourcePlacement::kRandom;
+  const RunResult res = run_experiment(cfg);
+  EXPECT_EQ(res.sources.size(), cfg.num_sources);
+  EXPECT_GT(res.metrics.delivery_ratio, 0.8);
+}
+
+TEST(Experiment, LinearAggregationSendsMoreBytes) {
+  auto cfg = small_config(core::Algorithm::kGreedy, 80, 80.0);
+  cfg.num_sources = 8;
+  const auto perfect_bytes = run_experiment(cfg).bytes_sent;
+  cfg.diffusion.aggregation = std::make_shared<agg::LinearAggregation>(28, 36);
+  const auto linear_bytes = run_experiment(cfg).bytes_sent;
+  EXPECT_GT(linear_bytes, perfect_bytes);
+}
+
+TEST(Sweep, AveragesOverReplicates) {
+  const auto cfg = small_config(core::Algorithm::kOpportunistic, 60, 40.0);
+  const AveragedPoint p = run_replicates(cfg, 3, 11);
+  EXPECT_EQ(p.replicates, 3);
+  EXPECT_EQ(p.energy.count(), 3u);
+  EXPECT_GT(p.energy.mean(), 0.0);
+  EXPECT_GT(p.delivery.mean(), 0.5);
+  EXPECT_GT(p.degree.mean(), 3.0);
+}
+
+TEST(Sweep, EnvOverrides) {
+  ::setenv("WSN_FIELDS", "7", 1);
+  EXPECT_EQ(fields_from_env(3), 7);
+  ::unsetenv("WSN_FIELDS");
+  EXPECT_EQ(fields_from_env(3), 3);
+
+  ::setenv("WSN_SIM_TIME", "123.5", 1);
+  EXPECT_DOUBLE_EQ(sim_seconds_from_env(400.0), 123.5);
+  ::unsetenv("WSN_SIM_TIME");
+  EXPECT_DOUBLE_EQ(sim_seconds_from_env(400.0), 400.0);
+
+  ::setenv("WSN_FIELDS", "garbage", 1);
+  EXPECT_EQ(fields_from_env(3), 3);
+  ::unsetenv("WSN_FIELDS");
+}
+
+TEST(Experiment, PerNodeEnergyExposedAndConsistent) {
+  const RunResult res = run_experiment(small_config(core::Algorithm::kGreedy));
+  ASSERT_EQ(res.node_energy_joules.size(), 70u);
+  ASSERT_EQ(res.node_positions.size(), 70u);
+  double sum = 0.0, mx = 0.0;
+  for (double j : res.node_energy_joules) {
+    EXPECT_GE(j, 0.0);
+    sum += j;
+    mx = std::max(mx, j);
+  }
+  EXPECT_NEAR(sum, res.metrics.total_energy_joules, 1e-6);
+  EXPECT_DOUBLE_EQ(mx, res.energy_max_node_joules);
+  EXPECT_NEAR(sum / 70.0, res.energy_mean_node_joules, 1e-9);
+  EXPECT_GT(res.first_death_seconds(18700.0, 80.0), 0.0);
+}
+
+TEST(Experiment, DirectionalInterestsCutInterestTraffic) {
+  auto cfg = small_config(core::Algorithm::kGreedy, 120, 80.0);
+  cfg.interest_region = cfg.source_rect;  // task scoped to the corner
+  const auto flood = run_experiment(cfg);
+  cfg.diffusion.interest_propagation =
+      diffusion::InterestPropagation::kDirectional;
+  const auto directional = run_experiment(cfg);
+  EXPECT_LT(directional.protocol.interests_sent,
+            flood.protocol.interests_sent * 3 / 4);
+  EXPECT_GT(directional.metrics.delivery_ratio, 0.85);
+}
+
+TEST(Experiment, TdmaMacTypeRuns) {
+  auto cfg = small_config(core::Algorithm::kOpportunistic, 50, 60.0);
+  cfg.mac_type = MacType::kTdma;
+  const auto res = run_experiment(cfg);
+  EXPECT_GT(res.metrics.delivery_ratio, 0.7);
+  EXPECT_EQ(res.arrivals_corrupted, 0u);
+}
+
+TEST(Experiment, TreeEdgesAreValidNodePairs) {
+  const RunResult res = run_experiment(small_config(core::Algorithm::kGreedy));
+  for (const auto& [from, to] : res.tree_edges) {
+    EXPECT_LT(from, 70u);
+    EXPECT_LT(to, 70u);
+    EXPECT_NE(from, to);
+  }
+}
+
+}  // namespace
+}  // namespace wsn::scenario
