@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mac"
+  "../bench/ablation_mac.pdb"
+  "CMakeFiles/ablation_mac.dir/ablation_mac.cpp.o"
+  "CMakeFiles/ablation_mac.dir/ablation_mac.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ta"
+  "../bench/ablation_ta.pdb"
+  "CMakeFiles/ablation_ta.dir/ablation_ta.cpp.o"
+  "CMakeFiles/ablation_ta.dir/ablation_ta.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tp"
+  "../bench/ablation_tp.pdb"
+  "CMakeFiles/ablation_tp.dir/ablation_tp.cpp.o"
+  "CMakeFiles/ablation_tp.dir/ablation_tp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_truncation"
+  "../bench/ablation_truncation.pdb"
+  "CMakeFiles/ablation_truncation.dir/ablation_truncation.cpp.o"
+  "CMakeFiles/ablation_truncation.dir/ablation_truncation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

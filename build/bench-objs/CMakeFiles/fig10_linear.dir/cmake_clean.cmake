@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_linear"
+  "../bench/fig10_linear.pdb"
+  "CMakeFiles/fig10_linear.dir/fig10_linear.cpp.o"
+  "CMakeFiles/fig10_linear.dir/fig10_linear.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

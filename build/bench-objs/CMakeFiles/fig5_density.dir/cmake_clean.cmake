@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_density"
+  "../bench/fig5_density.pdb"
+  "CMakeFiles/fig5_density.dir/fig5_density.cpp.o"
+  "CMakeFiles/fig5_density.dir/fig5_density.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

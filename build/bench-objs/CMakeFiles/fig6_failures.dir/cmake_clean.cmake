@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_failures"
+  "../bench/fig6_failures.pdb"
+  "CMakeFiles/fig6_failures.dir/fig6_failures.cpp.o"
+  "CMakeFiles/fig6_failures.dir/fig6_failures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_random_sources"
+  "../bench/fig7_random_sources.pdb"
+  "CMakeFiles/fig7_random_sources.dir/fig7_random_sources.cpp.o"
+  "CMakeFiles/fig7_random_sources.dir/fig7_random_sources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_random_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

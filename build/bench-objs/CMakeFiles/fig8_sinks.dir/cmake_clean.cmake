@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_sinks"
+  "../bench/fig8_sinks.pdb"
+  "CMakeFiles/fig8_sinks.dir/fig8_sinks.cpp.o"
+  "CMakeFiles/fig8_sinks.dir/fig8_sinks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

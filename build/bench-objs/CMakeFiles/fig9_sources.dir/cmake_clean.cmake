@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_sources"
+  "../bench/fig9_sources.pdb"
+  "CMakeFiles/fig9_sources.dir/fig9_sources.cpp.o"
+  "CMakeFiles/fig9_sources.dir/fig9_sources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

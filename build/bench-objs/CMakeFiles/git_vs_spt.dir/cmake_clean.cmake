@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/git_vs_spt"
+  "../bench/git_vs_spt.pdb"
+  "CMakeFiles/git_vs_spt.dir/git_vs_spt.cpp.o"
+  "CMakeFiles/git_vs_spt.dir/git_vs_spt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/git_vs_spt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

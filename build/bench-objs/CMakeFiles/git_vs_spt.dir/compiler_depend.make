@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for git_vs_spt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lifetime_hotspot"
+  "../bench/lifetime_hotspot.pdb"
+  "CMakeFiles/lifetime_hotspot.dir/lifetime_hotspot.cpp.o"
+  "CMakeFiles/lifetime_hotspot.dir/lifetime_hotspot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_setcover"
+  "../bench/micro_setcover.pdb"
+  "CMakeFiles/micro_setcover.dir/micro_setcover.cpp.o"
+  "CMakeFiles/micro_setcover.dir/micro_setcover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_setcover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

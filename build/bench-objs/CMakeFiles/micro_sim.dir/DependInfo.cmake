@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_sim.cpp" "bench-objs/CMakeFiles/micro_sim.dir/micro_sim.cpp.o" "gcc" "bench-objs/CMakeFiles/micro_sim.dir/micro_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/wsn_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wsn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/wsn_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/wsn_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/wsn_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wsn_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_trees"
+  "../bench/micro_trees.pdb"
+  "CMakeFiles/micro_trees.dir/micro_trees.cpp.o"
+  "CMakeFiles/micro_trees.dir/micro_trees.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

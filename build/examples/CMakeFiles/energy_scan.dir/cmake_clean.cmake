@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_scan.dir/energy_scan.cpp.o"
+  "CMakeFiles/energy_scan.dir/energy_scan.cpp.o.d"
+  "energy_scan"
+  "energy_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisink_monitoring.dir/multisink_monitoring.cpp.o"
+  "CMakeFiles/multisink_monitoring.dir/multisink_monitoring.cpp.o.d"
+  "multisink_monitoring"
+  "multisink_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisink_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsnctl.dir/wsnctl.cpp.o"
+  "CMakeFiles/wsnctl.dir/wsnctl.cpp.o.d"
+  "wsnctl"
+  "wsnctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsnctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_agg.dir/set_cover.cpp.o"
+  "CMakeFiles/wsn_agg.dir/set_cover.cpp.o.d"
+  "libwsn_agg.a"
+  "libwsn_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithm.cpp" "src/core/CMakeFiles/wsn_core.dir/algorithm.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/algorithm.cpp.o.d"
+  "/root/repo/src/core/greedy_node.cpp" "src/core/CMakeFiles/wsn_core.dir/greedy_node.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/greedy_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diffusion/CMakeFiles/wsn_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/wsn_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wsn_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

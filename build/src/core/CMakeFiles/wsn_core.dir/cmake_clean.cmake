@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_core.dir/algorithm.cpp.o"
+  "CMakeFiles/wsn_core.dir/algorithm.cpp.o.d"
+  "CMakeFiles/wsn_core.dir/greedy_node.cpp.o"
+  "CMakeFiles/wsn_core.dir/greedy_node.cpp.o.d"
+  "libwsn_core.a"
+  "libwsn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

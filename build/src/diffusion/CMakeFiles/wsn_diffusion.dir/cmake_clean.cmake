@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_diffusion.dir/node.cpp.o"
+  "CMakeFiles/wsn_diffusion.dir/node.cpp.o.d"
+  "libwsn_diffusion.a"
+  "libwsn_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

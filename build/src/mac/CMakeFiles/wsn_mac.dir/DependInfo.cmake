@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/channel.cpp" "src/mac/CMakeFiles/wsn_mac.dir/channel.cpp.o" "gcc" "src/mac/CMakeFiles/wsn_mac.dir/channel.cpp.o.d"
+  "/root/repo/src/mac/csma_mac.cpp" "src/mac/CMakeFiles/wsn_mac.dir/csma_mac.cpp.o" "gcc" "src/mac/CMakeFiles/wsn_mac.dir/csma_mac.cpp.o.d"
+  "/root/repo/src/mac/tdma_mac.cpp" "src/mac/CMakeFiles/wsn_mac.dir/tdma_mac.cpp.o" "gcc" "src/mac/CMakeFiles/wsn_mac.dir/tdma_mac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/wsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

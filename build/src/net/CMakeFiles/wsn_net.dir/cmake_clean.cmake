@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_net.dir/field.cpp.o"
+  "CMakeFiles/wsn_net.dir/field.cpp.o.d"
+  "CMakeFiles/wsn_net.dir/topology.cpp.o"
+  "CMakeFiles/wsn_net.dir/topology.cpp.o.d"
+  "libwsn_net.a"
+  "libwsn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

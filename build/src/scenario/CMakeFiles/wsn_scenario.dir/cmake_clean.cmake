@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_scenario.dir/experiment.cpp.o"
+  "CMakeFiles/wsn_scenario.dir/experiment.cpp.o.d"
+  "CMakeFiles/wsn_scenario.dir/sweep.cpp.o"
+  "CMakeFiles/wsn_scenario.dir/sweep.cpp.o.d"
+  "libwsn_scenario.a"
+  "libwsn_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

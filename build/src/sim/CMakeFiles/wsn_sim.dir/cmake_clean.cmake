@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/wsn_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/wsn_sim.dir/logger.cpp.o"
+  "CMakeFiles/wsn_sim.dir/logger.cpp.o.d"
+  "CMakeFiles/wsn_sim.dir/random.cpp.o"
+  "CMakeFiles/wsn_sim.dir/random.cpp.o.d"
+  "CMakeFiles/wsn_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wsn_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/wsn_sim.dir/time.cpp.o"
+  "CMakeFiles/wsn_sim.dir/time.cpp.o.d"
+  "libwsn_sim.a"
+  "libwsn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_stats.dir/metrics.cpp.o"
+  "CMakeFiles/wsn_stats.dir/metrics.cpp.o.d"
+  "libwsn_stats.a"
+  "libwsn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trees/aggregation_trees.cpp" "src/trees/CMakeFiles/wsn_trees.dir/aggregation_trees.cpp.o" "gcc" "src/trees/CMakeFiles/wsn_trees.dir/aggregation_trees.cpp.o.d"
+  "/root/repo/src/trees/graph.cpp" "src/trees/CMakeFiles/wsn_trees.dir/graph.cpp.o" "gcc" "src/trees/CMakeFiles/wsn_trees.dir/graph.cpp.o.d"
+  "/root/repo/src/trees/models.cpp" "src/trees/CMakeFiles/wsn_trees.dir/models.cpp.o" "gcc" "src/trees/CMakeFiles/wsn_trees.dir/models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/wsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

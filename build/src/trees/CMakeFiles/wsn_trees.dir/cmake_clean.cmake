@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_trees.dir/aggregation_trees.cpp.o"
+  "CMakeFiles/wsn_trees.dir/aggregation_trees.cpp.o.d"
+  "CMakeFiles/wsn_trees.dir/graph.cpp.o"
+  "CMakeFiles/wsn_trees.dir/graph.cpp.o.d"
+  "CMakeFiles/wsn_trees.dir/models.cpp.o"
+  "CMakeFiles/wsn_trees.dir/models.cpp.o.d"
+  "libwsn_trees.a"
+  "libwsn_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
