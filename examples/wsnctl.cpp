@@ -3,8 +3,8 @@
 // Runs one experiment per invocation and prints the paper's metrics (and
 // optionally a CSV row), exposing every knob the library offers:
 //
-//   $ ./wsnctl --nodes 250 --alg greedy --sources 8 --sinks 2 \
-//               --duration 300 --seed 7 --placement corner --mac csma \
+//   $ ./wsnctl --nodes 250 --alg greedy --sources 8 --sinks 2
+//               --duration 300 --seed 7 --placement corner --mac csma
 //               --aggregation perfect --failures --csv
 //
 // Defaults reproduce one Figure-5 point.

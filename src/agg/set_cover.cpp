@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/audit.hpp"
+
 namespace wsn::agg {
 namespace {
 
@@ -74,6 +76,24 @@ std::vector<Bits> family_masks(std::span<const WeightedSet> family,
   }
   return masks;
 }
+
+#if WSN_AUDIT_ENABLED
+/// Audit-build check: a result flagged `covered` really covers [0, m).
+void audit_cover(std::span<const WeightedSet> family, std::uint32_t m,
+                 const SetCoverResult& result) {
+  if (!result.covered) return;
+  Bits got{m};
+  for (std::size_t i : result.chosen) {
+    WSN_AUDIT_CHECK(i < family.size(), "chosen index outside the family");
+    for (auto e : family[i].elements) got.set(e);
+  }
+  WSN_AUDIT_CHECK(got.covers_universe(m),
+                  "returned cover does not cover the universe");
+}
+#define WSN_COVER_AUDIT(family, m, result) audit_cover(family, m, result)
+#else
+#define WSN_COVER_AUDIT(family, m, result) ((void)0)
+#endif
 
 }  // namespace
 
@@ -151,6 +171,7 @@ SetCoverResult greedy_weighted_set_cover(std::span<const WeightedSet> family,
       result.total_weight += family[i].weight;
     }
   }
+  WSN_COVER_AUDIT(family, m, result);
   return result;
 }
 
@@ -200,6 +221,7 @@ SetCoverResult exact_weighted_set_cover(std::span<const WeightedSet> family,
     result.chosen.push_back(static_cast<std::size_t>(choice[cur]));
   }
   std::sort(result.chosen.begin(), result.chosen.end());
+  WSN_COVER_AUDIT(family, m, result);
   return result;
 }
 

@@ -623,6 +623,8 @@ void DiffusionNode::run_repair() {
   const sim::Time fresh_horizon = now - params_.exploratory_period * 2;
   // Latest advertisement per silent source.
   std::unordered_map<SourceId, std::pair<MsgId, sim::Time>> latest;
+  // The per-source pick below tie-breaks on msg id, so the result is
+  // independent of hash-map iteration order. lint:unordered-ok
   for (auto& [mid, rec] : expl_cache_) {
     if (rec.source == id() || rec.first_seen < fresh_horizon) continue;
     const auto ls = last_source_item_.find(rec.source);
@@ -630,13 +632,23 @@ void DiffusionNode::run_repair() {
         ls == last_source_item_.end() ? rec.first_seen : ls->second;
     if (now - last_heard <= params_.repair_silence) continue;
     auto [lit, inserted] = latest.try_emplace(rec.source, mid, rec.first_seen);
-    if (!inserted && rec.first_seen > lit->second.second) {
+    if (!inserted && (rec.first_seen > lit->second.second ||
+                      (rec.first_seen == lit->second.second &&
+                       mid < lit->second.first))) {
       lit->second = {mid, rec.first_seen};
     }
   }
-  for (const auto& [source, pick] : latest) {
+  // Repair in source order: the reinforcement sends interleave with the
+  // rest of the event stream, so hash-map iteration order must not leak
+  // into the trajectory.
+  std::vector<std::pair<SourceId, MsgId>> picks;
+  picks.reserve(latest.size());
+  // lint:unordered-ok — drained into `picks` and sorted before use
+  for (const auto& [source, pick] : latest) picks.emplace_back(source, pick.first);
+  std::sort(picks.begin(), picks.end());
+  for (const auto& [source, mid] : picks) {
     ++stats_.repairs_attempted;
-    propagate_reinforcement(pick.first, /*force=*/true);
+    propagate_reinforcement(mid, /*force=*/true);
   }
   if (!latest.empty()) last_repair_ = now;
 }

@@ -3,12 +3,17 @@
 #include <utility>
 
 #include "mac/mac_base.hpp"
+#include "sim/audit.hpp"
 
 namespace wsn::mac {
 
 TransmissionPtr Channel::begin_transmission(net::NodeId src, net::Frame frame,
                                             FrameKind kind,
                                             sim::Time airtime) {
+  WSN_AUDIT_CHECK(airtime > sim::Time::zero(),
+                  "transmission with non-positive airtime");
+  WSN_AUDIT_CHECK(macs_[src] != nullptr && macs_[src]->alive(),
+                  "transmission started by a detached or dead node");
   auto tx = std::make_shared<Transmission>();
   tx->frame = std::move(frame);
   tx->kind = kind;

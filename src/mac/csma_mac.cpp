@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/audit.hpp"
 #include "sim/logger.hpp"
 
 namespace wsn::mac {
@@ -22,6 +23,12 @@ CsmaMac::CsmaMac(sim::Simulator& sim, Channel& channel, net::NodeId id,
       slot_timer_{sim, [this] { on_slot_elapsed(); }},
       ack_timer_{sim, [this] { on_ack_timeout(); }} {}
 
+void CsmaMac::audit_frame_conservation() const {
+  WSN_AUDIT_CHECK(audit_accepted_ == audit_completed_ + queue_.size(),
+                  "MAC frame conservation broken: accepted != "
+                  "completed + queued");
+}
+
 void CsmaMac::send(net::Frame frame) {
   if (!alive_) return;
   if (queue_.size() >= phy_.queue_limit) {
@@ -30,6 +37,8 @@ void CsmaMac::send(net::Frame frame) {
   }
   frame.src = id_;
   queue_.push_back(Outgoing{std::move(frame), 0});
+  ++audit_accepted_;
+  audit_frame_conservation();
   if (state_ == State::kIdle) start_contention();
 }
 
@@ -42,6 +51,7 @@ void CsmaMac::set_alive(bool alive) {
     outgoing_tx_.reset();
     transmitting_ = false;
     pending_ack_tx_ = false;
+    audit_completed_ += queue_.size();  // power-down flush drops the queue
     queue_.clear();
     arrivals_.clear();
     active_arrivals_ = 0;
@@ -126,6 +136,7 @@ void CsmaMac::start_transmission() {
   state_ = State::kTransmit;
   transmitting_ = true;
   // Our own carrier corrupts anything we were mid-receiving (half duplex).
+  // lint:unordered-ok — sets a flag on every entry, order-insensitive
   for (auto& [txp, st] : arrivals_) st.corrupt = true;
   update_radio_state();
 
@@ -194,6 +205,8 @@ void CsmaMac::finish_current(bool success) {
     }
   }
   queue_.pop_front();
+  ++audit_completed_;
+  audit_frame_conservation();
   cw_ = phy_.cw_min;
   backoff_slots_ = -1;
   if (queue_.empty()) {
@@ -214,7 +227,8 @@ void CsmaMac::send_ack(net::NodeId to) {
     slot_timer_.cancel();
     transmitting_ = true;
     pending_ack_tx_ = true;
-    for (auto& [txp, st] : arrivals_) st.corrupt = true;
+    // lint:unordered-ok — sets a flag on every entry, order-insensitive
+  for (auto& [txp, st] : arrivals_) st.corrupt = true;
     update_radio_state();
     net::Frame ack;
     ack.src = id_;
@@ -232,6 +246,7 @@ void CsmaMac::arrival_start(const TransmissionPtr& tx, bool decodable) {
   const bool was_busy = medium_busy();
   // Overlap with anything already arriving corrupts both (no capture).
   const bool corrupt = transmitting_ || active_arrivals_ > 0;
+  // lint:unordered-ok — marks every in-flight arrival, order-insensitive
   for (auto& [txp, st] : arrivals_) {
     if (!st.corrupt && st.decodable) ++stats_.arrivals_corrupted;
     st.corrupt = true;
@@ -239,6 +254,9 @@ void CsmaMac::arrival_start(const TransmissionPtr& tx, bool decodable) {
   if (corrupt && decodable) ++stats_.arrivals_corrupted;
   arrivals_.emplace(tx.get(), ArrivalState{corrupt, decodable});
   ++active_arrivals_;
+  WSN_AUDIT_CHECK(
+      arrivals_.size() == static_cast<std::size_t>(active_arrivals_),
+      "arrival ledger out of sync with active-arrival count");
   update_radio_state();
   if (!was_busy) medium_became_busy();
 }
@@ -251,6 +269,8 @@ void CsmaMac::arrival_end(const TransmissionPtr& tx) {
       it->second.decodable && !it->second.corrupt && !tx->aborted;
   arrivals_.erase(it);
   --active_arrivals_;
+  WSN_AUDIT_CHECK(active_arrivals_ >= 0,
+                  "more arrival ends than arrival starts");
   update_radio_state();
   if (deliverable) deliver(*tx);
   if (!medium_busy()) medium_became_idle();

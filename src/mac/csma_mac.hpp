@@ -85,6 +85,14 @@ class CsmaMac final : public MacBase {
   sim::Timer slot_timer_;
   sim::Timer ack_timer_;
   sim::EventHandle tx_end_event_;
+
+  // Frame-conservation ledger (audit builds check it; counters are cheap
+  // enough to keep unconditionally so the ABI does not fork on WSN_AUDIT).
+  // Invariant: accepted == completed + queue_.size() at every quiescent
+  // point, i.e. every accepted frame is eventually delivered-or-dropped.
+  std::uint64_t audit_accepted_ = 0;   ///< frames admitted to the queue
+  std::uint64_t audit_completed_ = 0;  ///< acked, broadcast-sent, or dropped
+  void audit_frame_conservation() const;
 };
 
 }  // namespace wsn::mac

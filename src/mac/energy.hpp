@@ -2,6 +2,7 @@
 #pragma once
 
 #include "mac/params.hpp"
+#include "sim/audit.hpp"
 #include "sim/time.hpp"
 
 namespace wsn::mac {
@@ -24,13 +25,19 @@ class EnergyMeter {
   }
 
   void accumulate_to(sim::Time now) {
+    WSN_AUDIT_CHECK(now >= last_change_,
+                    "energy accumulated to a time before the last transition");
     if (now > last_change_) {
       const double j = power(state_) * (now - last_change_).as_seconds();
+      WSN_AUDIT_CHECK(j >= 0.0, "negative energy increment");
       joules_ += j;
       if (state_ == RadioState::kRx || state_ == RadioState::kTx) {
         active_joules_ += j;
       }
       last_change_ = now;
+      WSN_AUDIT_CHECK(joules_ >= 0.0, "total joules went negative");
+      WSN_AUDIT_CHECK(active_joules_ <= joules_ * (1.0 + 1e-12) + 1e-12,
+                      "active energy exceeds total energy");
     }
   }
 

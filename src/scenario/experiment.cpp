@@ -61,6 +61,13 @@ class FailureProcess {
 }  // namespace
 
 RunResult run_experiment(const ExperimentConfig& config) {
+  // A workload needs at least one node per endpoint; degenerate configs
+  // (e.g. `wsnctl --nodes 0`) return an empty result instead of indexing
+  // into empty node tables.
+  if (config.field.nodes == 0 ||
+      config.field.nodes < config.num_sources + config.num_sinks) {
+    return RunResult{};
+  }
   sim::Rng master{config.seed};
   sim::Rng field_rng = master.fork(1);
   sim::Rng placement_rng = master.fork(2);

@@ -1,0 +1,34 @@
+#include "sim/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wsn::sim::audit {
+namespace {
+
+std::uint64_t g_checks = 0;
+std::uint64_t g_violations = 0;
+bool g_abort = true;
+
+}  // namespace
+
+std::uint64_t checks_performed() { return g_checks; }
+std::uint64_t violations() { return g_violations; }
+void set_abort_on_violation(bool abort_on_violation) {
+  g_abort = abort_on_violation;
+}
+void reset_violations() { g_violations = 0; }
+
+namespace detail {
+
+void count_check() { ++g_checks; }
+
+void fail(const char* file, int line, const char* expr, const char* msg) {
+  std::fprintf(stderr, "[wsn-audit] %s:%d: invariant violated: %s (%s)\n",
+               file, line, expr, msg);
+  if (g_abort) std::abort();
+  ++g_violations;
+}
+
+}  // namespace detail
+}  // namespace wsn::sim::audit

@@ -1,0 +1,50 @@
+// Runtime invariant auditing, compiled in by the WSN_AUDIT build option.
+#pragma once
+
+#include <cstdint>
+
+namespace wsn::sim::audit {
+
+/// Number of invariant checks evaluated since process start. Stays 0 in
+/// non-audit builds; tests use it to prove the audit layer is live.
+[[nodiscard]] std::uint64_t checks_performed();
+
+/// Number of violations observed. Only ever non-zero after
+/// `set_abort_on_violation(false)` — the default response is to print the
+/// failed invariant and abort, so a violating audit build cannot silently
+/// produce numbers.
+[[nodiscard]] std::uint64_t violations();
+
+/// Tests that deliberately violate an invariant switch to counting mode;
+/// production audit runs keep the default (abort).
+void set_abort_on_violation(bool abort_on_violation);
+
+/// Resets the violation counter (counting mode tests only).
+void reset_violations();
+
+namespace detail {
+void count_check();
+void fail(const char* file, int line, const char* expr, const char* msg);
+}  // namespace detail
+
+}  // namespace wsn::sim::audit
+
+// WSN_AUDIT_CHECK(cond, msg): in audit builds, evaluates `cond` and reports
+// a violation (abort by default) when false; compiles to nothing otherwise,
+// so `cond` must be side-effect free. WSN_AUDIT_ONLY(...) splices
+// audit-build-only statements (bookkeeping for checks) into normal code.
+#if defined(WSN_AUDIT)
+#define WSN_AUDIT_ENABLED 1
+#define WSN_AUDIT_CHECK(cond, msg)                                      \
+  do {                                                                  \
+    ::wsn::sim::audit::detail::count_check();                           \
+    if (!(cond)) {                                                      \
+      ::wsn::sim::audit::detail::fail(__FILE__, __LINE__, #cond, msg);  \
+    }                                                                   \
+  } while (false)
+#define WSN_AUDIT_ONLY(...) __VA_ARGS__
+#else
+#define WSN_AUDIT_ENABLED 0
+#define WSN_AUDIT_CHECK(cond, msg) ((void)0)
+#define WSN_AUDIT_ONLY(...)
+#endif

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/audit.hpp"
+
 namespace wsn::sim {
 
 EventHandle EventQueue::schedule(Time at, Callback fn) {
@@ -42,6 +44,9 @@ EventQueue::Fired EventQueue::pop() {
   Fired fired{top.at, std::move(top.fn)};
   pending_.erase(top.seq);
   heap_.pop();
+  WSN_AUDIT_CHECK(fired.at >= last_popped_,
+                  "event queue popped a time earlier than a previous pop");
+  last_popped_ = fired.at;
   return fired;
 }
 
@@ -49,6 +54,7 @@ void EventQueue::clear() {
   while (!heap_.empty()) heap_.pop();
   cancelled_.clear();
   pending_.clear();
+  last_popped_ = Time::zero();
 }
 
 }  // namespace wsn::sim

@@ -81,6 +81,7 @@ class EventQueue {
   mutable std::unordered_set<std::uint64_t> cancelled_;
   std::unordered_set<std::uint64_t> pending_;
   std::uint64_t next_seq_ = 1;
+  Time last_popped_ = Time::zero();  ///< audit: pop times never decrease
 };
 
 }  // namespace wsn::sim

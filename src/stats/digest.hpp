@@ -1,0 +1,55 @@
+// Order-sensitive 64-bit digest for cheap cross-run determinism checks.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "stats/metrics.hpp"
+
+namespace wsn::stats {
+
+/// FNV-1a over the exact bit patterns fed to it. Two runs that produce the
+/// same digest fed the same values in the same order, so comparing one
+/// 64-bit word detects nondeterminism without archiving full metric dumps.
+/// Doubles are hashed by bit pattern — bit-identical, not approximately
+/// equal, is the bar for reproducibility.
+class Digest {
+ public:
+  void add(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (x >> (8 * i)) & 0xffU;
+      h_ *= kPrime;
+    }
+  }
+  void add(std::int64_t x) { add(static_cast<std::uint64_t>(x)); }
+  void add(double d) { add(std::bit_cast<std::uint64_t>(d)); }
+  void add(std::string_view s) {
+    for (unsigned char c : s) {
+      h_ ^= c;
+      h_ *= kPrime;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+/// Digest of one run's headline metrics, bit-exact.
+[[nodiscard]] inline std::uint64_t digest_of(const RunMetrics& m) {
+  Digest d;
+  d.add(m.avg_dissipated_energy);
+  d.add(m.avg_active_energy);
+  d.add(m.avg_delay);
+  d.add(m.delivery_ratio);
+  d.add(m.distinct_generated);
+  d.add(m.distinct_received);
+  d.add(m.total_energy_joules);
+  d.add(m.total_active_energy_joules);
+  return d.value();
+}
+
+}  // namespace wsn::stats

@@ -56,6 +56,7 @@ class MetricsCollector final : public diffusion::MetricsHook {
   }
   [[nodiscard]] std::uint64_t distinct_received() const {
     std::uint64_t total = 0;
+    // lint:unordered-ok — integer sum, order-insensitive
     for (const auto& [sink, seen] : per_sink_) total += seen.size();
     return total;
   }

@@ -3,12 +3,48 @@
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <numeric>
 #include <queue>
+
+#include "sim/audit.hpp"
 
 namespace wsn::trees {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+#if WSN_AUDIT_ENABLED
+/// Audit-build check: the constructed tree is acyclic (union-find over its
+/// edges) and, when marked feasible, connects every source to the sink.
+void audit_tree(std::size_t n, Vertex sink, std::span<const Vertex> sources,
+                const Tree& tree) {
+  std::vector<Vertex> parent(n);
+  std::iota(parent.begin(), parent.end(), Vertex{0});
+  auto find = [&parent](Vertex v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];  // path halving
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const auto& [u, v] : tree.edges) {
+    const Vertex ru = find(u);
+    const Vertex rv = find(v);
+    WSN_AUDIT_CHECK(ru != rv, "aggregation tree contains a cycle");
+    parent[ru] = rv;
+  }
+  if (tree.feasible) {
+    for (Vertex s : sources) {
+      WSN_AUDIT_CHECK(find(s) == find(sink),
+                      "feasible tree does not span a source");
+    }
+  }
+}
+#define WSN_TREE_AUDIT(n, sink, sources, tree) \
+  audit_tree(n, sink, sources, tree)
+#else
+#define WSN_TREE_AUDIT(n, sink, sources, tree) ((void)0)
+#endif
 
 /// Walks the parent chain from `from` down to a vertex with distance 0,
 /// adding each edge to the tree. Returns the path vertices.
@@ -39,6 +75,7 @@ Tree shortest_path_tree(const Graph& g, Vertex sink,
     }
     add_parent_path(tree, sp, s);
   }
+  WSN_TREE_AUDIT(g.vertex_count(), sink, sources, tree);
   return tree;
 }
 
@@ -63,6 +100,7 @@ Tree greedy_incremental_tree(const Graph& g, Vertex sink,
       }
     }
   }
+  WSN_TREE_AUDIT(g.vertex_count(), sink, sources, tree);
   return tree;
 }
 
@@ -138,6 +176,7 @@ Tree steiner_tree_exact(const Graph& g, Vertex sink,
 
   if (dp[full][sink] == kInf) {
     tree.feasible = false;
+    WSN_TREE_AUDIT(n, sink, sources, tree);
     return tree;
   }
 
@@ -170,6 +209,7 @@ Tree steiner_tree_exact(const Graph& g, Vertex sink,
         break;
     }
   }
+  WSN_TREE_AUDIT(n, sink, sources, tree);
   return tree;
 }
 

@@ -1,0 +1,106 @@
+// Determinism harness: two runs with the same seed must be bit-identical.
+//
+// This is the cheap nondeterminism tripwire later perf PRs build against:
+// any hash-order leak, uninitialised read, or wall-clock dependency that
+// reaches the metrics shows up as a digest mismatch here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "scenario/experiment.hpp"
+#include "stats/digest.hpp"
+
+namespace wsn {
+namespace {
+
+using scenario::ExperimentConfig;
+using scenario::RunResult;
+using scenario::run_experiment;
+
+/// Digest of everything a run reports: headline metrics, per-node energy,
+/// traffic counters, protocol counters, and the final tree.
+std::uint64_t digest_run(const RunResult& res) {
+  stats::Digest d;
+  d.add(stats::digest_of(res.metrics));
+  d.add(res.average_degree);
+  for (net::NodeId s : res.sources) d.add(std::uint64_t{s});
+  for (net::NodeId s : res.sinks) d.add(std::uint64_t{s});
+  for (double j : res.node_energy_joules) d.add(j);
+  d.add(res.energy_max_node_joules);
+  d.add(res.energy_mean_node_joules);
+  d.add(res.energy_stddev_node_joules);
+  d.add(res.frames_sent);
+  d.add(res.bytes_sent);
+  d.add(res.arrivals_corrupted);
+  d.add(res.drops);
+  d.add(res.protocol.interests_sent);
+  d.add(res.protocol.exploratory_sent);
+  d.add(res.protocol.data_sent);
+  d.add(res.protocol.icm_sent);
+  d.add(res.protocol.reinforcements_sent);
+  d.add(res.protocol.negatives_sent);
+  d.add(res.protocol.repairs_attempted);
+  d.add(res.protocol.aggregates_received);
+  for (const auto& [a, b] : res.tree_edges) {
+    d.add(std::uint64_t{a});
+    d.add(std::uint64_t{b});
+  }
+  return d.value();
+}
+
+ExperimentConfig mid_size_config(core::Algorithm alg, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.field.nodes = 150;
+  cfg.algorithm = alg;
+  cfg.duration = sim::Time::seconds(120.0);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Determinism, SameSeedBitIdenticalGreedy) {
+  const ExperimentConfig cfg = mid_size_config(core::Algorithm::kGreedy, 42);
+  const RunResult a = run_experiment(cfg);
+  const RunResult b = run_experiment(cfg);
+  ASSERT_EQ(a.node_energy_joules.size(), b.node_energy_joules.size());
+  EXPECT_EQ(stats::digest_of(a.metrics), stats::digest_of(b.metrics));
+  EXPECT_EQ(digest_run(a), digest_run(b));
+}
+
+TEST(Determinism, SameSeedBitIdenticalOpportunistic) {
+  const ExperimentConfig cfg =
+      mid_size_config(core::Algorithm::kOpportunistic, 42);
+  const RunResult a = run_experiment(cfg);
+  const RunResult b = run_experiment(cfg);
+  EXPECT_EQ(digest_run(a), digest_run(b));
+}
+
+TEST(Determinism, SameSeedBitIdenticalUnderFailures) {
+  // Node churn exercises the repair path, where hash-order bugs would hide.
+  ExperimentConfig cfg = mid_size_config(core::Algorithm::kGreedy, 7);
+  cfg.failures.enabled = true;
+  const RunResult a = run_experiment(cfg);
+  const RunResult b = run_experiment(cfg);
+  EXPECT_EQ(digest_run(a), digest_run(b));
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  // Sanity check that the digest actually discriminates.
+  const RunResult a =
+      run_experiment(mid_size_config(core::Algorithm::kGreedy, 1));
+  const RunResult b =
+      run_experiment(mid_size_config(core::Algorithm::kGreedy, 2));
+  EXPECT_NE(digest_run(a), digest_run(b));
+}
+
+TEST(Determinism, DigestIsOrderSensitive) {
+  stats::Digest d1;
+  d1.add(std::uint64_t{1});
+  d1.add(std::uint64_t{2});
+  stats::Digest d2;
+  d2.add(std::uint64_t{2});
+  d2.add(std::uint64_t{1});
+  EXPECT_NE(d1.value(), d2.value());
+}
+
+}  // namespace
+}  // namespace wsn

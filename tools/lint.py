@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Project-convention lint for the WSN simulator.
+
+Rules (beyond what clang-tidy covers):
+
+  R1  rng-source      No rand()/srand()/std::mt19937/<random> engines outside
+                      src/sim/random.* — every random draw must come from the
+                      seeded, platform-stable wsn::sim::Rng.
+  R2  wall-clock      No wall-clock reads in simulation code (src/): time(),
+                      std::chrono::*_clock, gettimeofday, clock_gettime,
+                      localtime, gmtime. Simulated time comes from
+                      Simulator::now(); wall-clock reads break determinism.
+  R3  unordered-iter  No range-for over std::unordered_{map,set} variables in
+                      src/ unless the loop is annotated with
+                      `lint:unordered-ok` on the loop line or the line above.
+                      Hash iteration order feeding protocol decisions is the
+                      classic source of cross-platform nondeterminism.
+  R4  header-shape    Every .hpp starts with a `//` purpose comment on line 1
+                      and its first non-comment, non-blank line is
+                      `#pragma once`.
+
+Exit status 0 when clean; 1 with one `path:line: [rule] message` per finding.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SOURCE_DIRS = ["src", "tests", "bench", "examples"]
+CPP_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+
+ALLOW_MARK = "lint:unordered-ok"
+
+RNG_PATTERN = re.compile(
+    r"\b(?:std::)?(?:mt19937(?:_64)?|minstd_rand0?|ranlux\d+(?:_base)?|"
+    r"default_random_engine|random_device)\b|\bs?rand\s*\(")
+WALL_CLOCK_PATTERN = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock)\b|"
+    r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|\blocaltime\s*\(|"
+    r"\bgmtime\s*\(|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)")
+UNORDERED_DECL_PATTERN = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR_PATTERN = re.compile(r"\bfor\s*\(([^;]*?):([^)]*)\)")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and string/char literal contents (keeps quotes)."""
+    out: list[str] = []
+    i, n = 0, len(line)
+    quote = None
+    while i < n:
+        c = line[i]
+        if quote:
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                quote = None
+                out.append(c)
+            i += 1
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def declared_unordered_names(code_lines: list[str]) -> set[str]:
+    """Names of variables/members declared as std::unordered_* containers."""
+    names: set[str] = set()
+    # Declarations can span lines (long template args); scan a joined window.
+    joined = " ".join(code_lines)
+    for m in UNORDERED_DECL_PATTERN.finditer(joined):
+        # Walk past the balanced template argument list, then read the name.
+        i = m.end()
+        depth = 1
+        while i < len(joined) and depth > 0:
+            if joined[i] == "<":
+                depth += 1
+            elif joined[i] == ">":
+                depth -= 1
+            i += 1
+        rest = joined[i:]
+        name = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*(?:;|=|\{|,|\))", rest)
+        if name:
+            names.add(name.group(1))
+    return names
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.findings: list[str] = []
+
+    def report(self, path: Path, line_no: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(REPO)
+        self.findings.append(f"{rel}:{line_no}: [{rule}] {msg}")
+
+    def lint_file(self, path: Path, unordered_names: set[str]) -> None:
+        rel = path.relative_to(REPO).as_posix()
+        text = path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        code = [strip_comments_and_strings(l) for l in lines]
+
+        in_sim = rel.startswith("src/")
+        rng_exempt = rel.startswith("src/sim/random.")
+
+        for idx, (raw, clean) in enumerate(zip(lines, code), start=1):
+            if not rng_exempt and RNG_PATTERN.search(clean):
+                self.report(path, idx, "rng-source",
+                            "use wsn::sim::Rng (src/sim/random) instead of "
+                            "ad-hoc std RNGs / rand()")
+            if in_sim and WALL_CLOCK_PATTERN.search(clean):
+                self.report(path, idx, "wall-clock",
+                            "wall-clock read in sim code; use "
+                            "Simulator::now() for simulated time")
+            if in_sim:
+                for m in RANGE_FOR_PATTERN.finditer(clean):
+                    target = m.group(2).strip()
+                    base = re.sub(r"[()*&\s]", "", target)
+                    base = base.split(".")[-1].split("->")[-1]
+                    if base in unordered_names:
+                        here = raw
+                        above = lines[idx - 2] if idx >= 2 else ""
+                        if ALLOW_MARK not in here and ALLOW_MARK not in above:
+                            self.report(
+                                path, idx, "unordered-iter",
+                                f"range-for over unordered container "
+                                f"'{base}'; sort/drain first or annotate "
+                                f"with {ALLOW_MARK} if order-insensitive")
+
+        if path.suffix in {".hpp", ".h"}:
+            if not lines or not lines[0].lstrip().startswith("//"):
+                self.report(path, 1, "header-shape",
+                            "header must open with a `//` purpose comment")
+            first_code = next(
+                (l.strip() for l in lines
+                 if l.strip() and not l.lstrip().startswith("//")), "")
+            if first_code != "#pragma once":
+                self.report(path, 1, "header-shape",
+                            "#pragma once must be the first non-comment line")
+
+    def run(self) -> int:
+        files: list[Path] = []
+        for d in SOURCE_DIRS:
+            root = REPO / d
+            if root.is_dir():
+                files.extend(p for p in sorted(root.rglob("*"))
+                             if p.suffix in CPP_SUFFIXES)
+
+        # R3 needs declarations visible across a header/impl pair: a member
+        # declared in foo.hpp is iterated in foo.cpp.
+        decls: dict[Path, set[str]] = {}
+        for p in files:
+            decls[p] = declared_unordered_names(
+                [strip_comments_and_strings(l)
+                 for l in p.read_text(encoding="utf-8").splitlines()])
+
+        for p in files:
+            names = set(decls[p])
+            for sib_suffix in (".hpp", ".h", ".cpp", ".cc"):
+                sib = p.with_suffix(sib_suffix)
+                if sib != p and sib in decls:
+                    names |= decls[sib]
+            self.lint_file(p, names)
+
+        for f in self.findings:
+            print(f)
+        if self.findings:
+            print(f"lint: {len(self.findings)} finding(s) in "
+                  f"{len(files)} files", file=sys.stderr)
+            return 1
+        print(f"lint: OK ({len(files)} files)")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(Linter().run())
