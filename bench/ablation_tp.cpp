@@ -11,6 +11,7 @@ int main() {
   const int fields = scenario::fields_from_env();
   const double secs = scenario::sim_seconds_from_env(200.0);
 
+  bench::ResultsJson json{"ablation_tp"};
   std::printf("=== Ablation: reinforcement wait T_p (greedy, 250 nodes) ===\n");
   std::printf("fields/point=%d sim=%.0fs\n", fields, secs);
   std::printf("%-8s | %-12s | %-12s | %-9s | %-9s\n", "T_p [s]",
@@ -25,9 +26,13 @@ int main() {
     std::printf("%-8.2f | %12.5f | %12.5f | %9.3f | %9.3f\n", tp,
                 p.energy.mean(), p.active_energy.mean(), p.delay.mean(),
                 p.delivery.mean());
+    char label[32];
+    std::snprintf(label, sizeof label, "%.2f", tp);
+    json.add(label, "greedy", p);
   }
   std::printf("expected: energy (tx+rx) falls from T_p=0 to the paper's "
               "T_p=1 s as ICMs get time to arrive; beyond that, little "
               "change but slower tree setup.\n");
+  json.write(fields, secs);
   return 0;
 }

@@ -8,6 +8,7 @@ int main() {
   const double secs = scenario::sim_seconds_from_env(200.0);
 
   bench::open_csv("fig9_sources");
+  bench::ResultsJson json{"fig9_sources"};
   bench::print_figure_header("Figure 9", "impact of the number of sources "
                              "(350 nodes, perfect aggregation)",
                              fields, secs, "sources");
@@ -16,8 +17,9 @@ int main() {
     cfg.field.nodes = 350;
     cfg.duration = sim::Time::seconds(secs);
     cfg.num_sources = sources;
-    bench::print_point(
-        bench::run_point(std::to_string(sources), cfg, fields));
+    const auto p = bench::run_point(std::to_string(sources), cfg, fields);
+    bench::print_point(p);
+    json.add(p);
   }
   bench::print_expectation(
       "with many sources packed into the fixed 80×80 m corner the workload "
@@ -25,5 +27,6 @@ int main() {
       "optimisation, so greedy's edge converges toward the opportunistic "
       "baseline.");
   bench::close_csv();
+  json.write(fields, secs);
   return 0;
 }

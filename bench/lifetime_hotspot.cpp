@@ -15,18 +15,20 @@
 namespace {
 
 struct HotspotRow {
-  double max_node = 0.0;
-  double mean_node = 0.0;
-  double stddev_node = 0.0;
-  double delivery = 0.0;
-  double lifetime_days = 0.0;
+  wsn::stats::Accumulator max_node;
+  wsn::stats::Accumulator mean_node;
+  wsn::stats::Accumulator stddev_node;
+  wsn::stats::Accumulator delivery;
+  wsn::stats::Accumulator lifetime_days;
 };
 
 HotspotRow measure(wsn::core::Algorithm alg, bool linear, int fields,
                    double secs) {
   using namespace wsn;
-  HotspotRow row;
-  for (int f = 0; f < fields; ++f) {
+  // Fields run in parallel (WSN_JOBS) into seed-indexed slots and are
+  // merged in seed order, like run_replicates.
+  std::vector<scenario::RunResult> slots(static_cast<std::size_t>(fields));
+  scenario::for_each_index(slots.size(), [&](std::size_t f) {
     scenario::ExperimentConfig cfg;
     cfg.field.nodes = 250;
     cfg.algorithm = alg;
@@ -36,19 +38,17 @@ HotspotRow measure(wsn::core::Algorithm alg, bool linear, int fields,
     if (linear) {
       cfg.diffusion.aggregation = std::make_shared<agg::LinearAggregation>(28, 36);
     }
-    const auto res = scenario::run_experiment(cfg);
-    row.max_node += res.energy_max_node_joules;
-    row.mean_node += res.energy_mean_node_joules;
-    row.stddev_node += res.energy_stddev_node_joules;
-    row.delivery += res.metrics.delivery_ratio;
+    slots[f] = scenario::run_experiment(cfg);
+  });
+  HotspotRow row;
+  for (const auto& res : slots) {
+    row.max_node.add(res.energy_max_node_joules);
+    row.mean_node.add(res.energy_mean_node_joules);
+    row.stddev_node.add(res.energy_stddev_node_joules);
+    row.delivery.add(res.metrics.delivery_ratio);
     // Lifetime proxy: two AA cells ≈ 18.7 kJ.
-    row.lifetime_days += res.first_death_seconds(18700.0, secs) / 86400.0;
+    row.lifetime_days.add(res.first_death_seconds(18700.0, secs) / 86400.0);
   }
-  row.max_node /= fields;
-  row.mean_node /= fields;
-  row.stddev_node /= fields;
-  row.delivery /= fields;
-  row.lifetime_days /= fields;
   return row;
 }
 
@@ -59,6 +59,7 @@ int main() {
   const int fields = scenario::fields_from_env();
   const double secs = scenario::sim_seconds_from_env(200.0);
 
+  bench::ResultsJson json{"lifetime_hotspot"};
   std::printf("=== Traffic concentration & lifetime (250 nodes, 8 corner "
               "sources) ===\n");
   std::printf("fields/point=%d sim=%.0fs; lifetime = 18.7 kJ battery / "
@@ -76,8 +77,16 @@ int main() {
                     std::string(core::to_string(alg)).c_str(),
                     linear ? "linear" : "perfect");
       std::printf("%-24s | %10.3f | %10.3f | %10.3f | %9.3f | %12.1f\n",
-                  label, row.max_node, row.mean_node, row.stddev_node,
-                  row.delivery, row.lifetime_days);
+                  label, row.max_node.mean(), row.mean_node.mean(),
+                  row.stddev_node.mean(), row.delivery.mean(),
+                  row.lifetime_days.mean());
+      json.add(std::string(core::to_string(alg)),
+               linear ? "linear" : "perfect",
+               {{"max_node_j", &row.max_node},
+                {"mean_node_j", &row.mean_node},
+                {"stddev_node_j", &row.stddev_node},
+                {"delivery", &row.delivery},
+                {"lifetime_days", &row.lifetime_days}});
     }
   }
   std::printf("expected: greedy's trunk is busy, but the baseline's "
@@ -85,5 +94,6 @@ int main() {
               "up with lower mean, lower spread and a cooler hottest node, "
               "so the first-death lifetime improves (paper §3's favourable "
               "regime); linear aggregation narrows the gap.\n");
+  json.write(fields, secs);
   return 0;
 }

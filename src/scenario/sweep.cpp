@@ -1,40 +1,129 @@
 #include "scenario/sweep.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <vector>
+
+#include "scenario/parallel.hpp"
+#include "stats/digest.hpp"
 
 namespace wsn::scenario {
+namespace {
+
+void warn_ignored(const char* name, const char* value, const char* reason) {
+  std::fprintf(stderr, "[wsn] ignoring %s=\"%s\" (%s); using the default\n",
+               name, value, reason);
+}
+
+}  // namespace
+
+long env_long(const char* name, long fallback, long lo, long hi) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    warn_ignored(name, s, "not an integer");
+    return fallback;
+  }
+  if (errno == ERANGE) {
+    warn_ignored(name, s, "overflows long");
+    return fallback;
+  }
+  if (v < lo || v > hi) {
+    warn_ignored(name, s, "out of range");
+    return fallback;
+  }
+  return v;
+}
+
+double env_double(const char* name, double fallback, double lo, double hi) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    warn_ignored(name, s, "not a number");
+    return fallback;
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    warn_ignored(name, s, "not a finite value");
+    return fallback;
+  }
+  if (v < lo || v > hi) {
+    warn_ignored(name, s, "out of range");
+    return fallback;
+  }
+  return v;
+}
 
 AveragedPoint run_replicates(const ExperimentConfig& base, int replicates,
-                             std::uint64_t seed0) {
+                             std::uint64_t seed0, int jobs) {
   AveragedPoint point;
-  for (int r = 0; r < replicates; ++r) {
-    ExperimentConfig cfg = base;
-    cfg.seed = seed0 + static_cast<std::uint64_t>(r);
-    const RunResult res = run_experiment(cfg);
+  if (replicates <= 0) return point;
+
+  const auto count = static_cast<std::size_t>(replicates);
+  const auto merge = [&point](const RunResult& res) {
     point.energy.add(res.metrics.avg_dissipated_energy);
     point.active_energy.add(res.metrics.avg_active_energy);
     point.delay.add(res.metrics.avg_delay);
     point.delivery.add(res.metrics.delivery_ratio);
     point.degree.add(res.average_degree);
     ++point.replicates;
+  };
+
+  const int effective = jobs > 0 ? jobs : jobs_from_env();
+  if (effective <= 1 || replicates == 1) {
+    // Serial path (WSN_JOBS=1): run and merge in one pass, no buffering.
+    for (std::size_t r = 0; r < count; ++r) {
+      ExperimentConfig cfg = base;
+      cfg.seed = seed0 + r;
+      merge(run_experiment(cfg));
+    }
+    return point;
   }
+
+  // Parallel path: every replicate writes its own seed-indexed slot; the
+  // merge below walks the slots in seed order, so the accumulators see the
+  // exact value stream the serial path produces.
+  std::vector<RunResult> slots(count);
+  for_each_index(
+      count,
+      [&](std::size_t r) {
+        ExperimentConfig cfg = base;
+        cfg.seed = seed0 + r;
+        slots[r] = run_experiment(cfg);
+      },
+      jobs);
+  for (const RunResult& res : slots) merge(res);
   return point;
 }
 
-int fields_from_env(int fallback) {
-  if (const char* s = std::getenv("WSN_FIELDS")) {
-    const int v = std::atoi(s);
-    if (v > 0) return v;
+std::uint64_t digest_of(const AveragedPoint& point) {
+  stats::Digest d;
+  for (const stats::Accumulator* a :
+       {&point.energy, &point.active_energy, &point.delay, &point.delivery,
+        &point.degree}) {
+    d.add(a->count());
+    d.add(a->mean());
+    d.add(a->variance());
+    d.add(a->min());
+    d.add(a->max());
   }
-  return fallback;
+  d.add(static_cast<std::int64_t>(point.replicates));
+  return d.value();
+}
+
+int fields_from_env(int fallback) {
+  return static_cast<int>(env_long("WSN_FIELDS", fallback, 1, 1000000));
 }
 
 double sim_seconds_from_env(double fallback) {
-  if (const char* s = std::getenv("WSN_SIM_TIME")) {
-    const double v = std::atof(s);
-    if (v > 0) return v;
-  }
-  return fallback;
+  return env_double("WSN_SIM_TIME", fallback, 1e-9, 1e9);
 }
 
 }  // namespace wsn::scenario

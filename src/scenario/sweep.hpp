@@ -21,8 +21,30 @@ struct AveragedPoint {
 
 /// Runs `replicates` copies of `base` with seeds seed0, seed0+1, ... and
 /// averages the paper's three metrics.
+///
+/// `jobs` > 1 runs the replicates on that many workers; `jobs` <= 0 uses
+/// the WSN_JOBS env default (hardware concurrency); `jobs` == 1 — or
+/// WSN_JOBS=1 — forces the plain serial loop. Every replicate gets its own
+/// Simulator and Rng and writes into a seed-indexed slot; slots are merged
+/// in seed order, so the accumulator streams (and hence every mean, SEM and
+/// digest downstream) are bit-identical for any job count.
 AveragedPoint run_replicates(const ExperimentConfig& base, int replicates,
-                             std::uint64_t seed0 = 1);
+                             std::uint64_t seed0 = 1, int jobs = 0);
+
+/// Order-sensitive digest of an averaged point's full accumulator state
+/// (count/mean/variance/min/max per metric). Two runs with equal digests
+/// accumulated bit-identical values in the same order — the bar the
+/// parallel engine is held to against the serial path.
+[[nodiscard]] std::uint64_t digest_of(const AveragedPoint& point);
+
+/// Parses env var `name` as a whole-string integer in [lo, hi]. Unset
+/// returns `fallback`; malformed, partial (e.g. "12abc"), overflowing or
+/// out-of-range values warn on stderr and return `fallback` — they are
+/// never silently truncated the way atoi would.
+long env_long(const char* name, long fallback, long lo, long hi);
+
+/// Same contract for finite doubles in [lo, hi].
+double env_double(const char* name, double fallback, double lo, double hi);
 
 /// Number of fields per sweep point: WSN_FIELDS env var, else `fallback`.
 int fields_from_env(int fallback = 5);

@@ -1,33 +1,41 @@
 #include "sim/audit.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace wsn::sim::audit {
 namespace {
 
-std::uint64_t g_checks = 0;
-std::uint64_t g_violations = 0;
-bool g_abort = true;
+// Relaxed atomics: the counters are plain tallies with no ordering
+// requirements, and the check hook sits on simulation hot paths that the
+// parallel replicate engine runs from several workers at once.
+std::atomic<std::uint64_t> g_checks{0};
+std::atomic<std::uint64_t> g_violations{0};
+std::atomic<bool> g_abort{true};
 
 }  // namespace
 
-std::uint64_t checks_performed() { return g_checks; }
-std::uint64_t violations() { return g_violations; }
-void set_abort_on_violation(bool abort_on_violation) {
-  g_abort = abort_on_violation;
+std::uint64_t checks_performed() {
+  return g_checks.load(std::memory_order_relaxed);
 }
-void reset_violations() { g_violations = 0; }
+std::uint64_t violations() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+void set_abort_on_violation(bool abort_on_violation) {
+  g_abort.store(abort_on_violation, std::memory_order_relaxed);
+}
+void reset_violations() { g_violations.store(0, std::memory_order_relaxed); }
 
 namespace detail {
 
-void count_check() { ++g_checks; }
+void count_check() { g_checks.fetch_add(1, std::memory_order_relaxed); }
 
 void fail(const char* file, int line, const char* expr, const char* msg) {
   std::fprintf(stderr, "[wsn-audit] %s:%d: invariant violated: %s (%s)\n",
                file, line, expr, msg);
-  if (g_abort) std::abort();
-  ++g_violations;
+  if (g_abort.load(std::memory_order_relaxed)) std::abort();
+  g_violations.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace detail

@@ -5,8 +5,9 @@
 
 namespace wsn::sim::audit {
 
-/// Number of invariant checks evaluated since process start. Stays 0 in
-/// non-audit builds; tests use it to prove the audit layer is live.
+/// Number of invariant checks evaluated since process start (summed over
+/// all replicate workers; the counters are atomic). Stays 0 in non-audit
+/// builds; tests use it to prove the audit layer is live.
 [[nodiscard]] std::uint64_t checks_performed();
 
 /// Number of violations observed. Only ever non-zero after

@@ -1,5 +1,6 @@
 #include "sim/logger.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
@@ -29,15 +30,21 @@ const char* level_name(LogLevel lvl) {
   return "?";
 }
 
-LogLevel g_level = parse_level(std::getenv("WSN_LOG"));
+// Atomic so worker threads of the parallel replicate engine can check the
+// level while a test flips it; plain relaxed loads keep the fast path free.
+std::atomic<LogLevel> g_level{parse_level(std::getenv("WSN_LOG"))};
 
 }  // namespace
 
-LogLevel Logger::level() { return g_level; }
-void Logger::set_level(LogLevel lvl) { g_level = lvl; }
+LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
+void Logger::set_level(LogLevel lvl) {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
 
 void Logger::emit(LogLevel lvl, Time now, std::string_view component,
                   const char* msg) {
+  // One fprintf call per line: stdio locks the stream internally, so lines
+  // from concurrent replicate workers never interleave mid-line.
   std::fprintf(stderr, "[%11.6f] %s %-9.*s %s\n", now.as_seconds(),
                level_name(lvl), static_cast<int>(component.size()),
                component.data(), msg);

@@ -15,7 +15,10 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 ///
 /// Level comes from the WSN_LOG environment variable
 /// (trace|debug|info|warn|error|off); default is warn so that large sweeps
-/// stay quiet. Not thread-safe by design: the simulator is single-threaded.
+/// stay quiet. Each Simulator is single-threaded, but the parallel
+/// replicate engine runs several simulators at once, so the level is
+/// atomic and each emit is a single locked stdio call — concurrent lines
+/// never interleave mid-line (their relative order is unspecified).
 class Logger {
  public:
   static LogLevel level();

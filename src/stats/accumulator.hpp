@@ -21,13 +21,19 @@ class Accumulator {
 
   [[nodiscard]] std::uint64_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance. NaN for n < 2: one sample gives *unknown* spread, not
+  /// zero spread — reporting 0.0 would print single-field sweeps with error
+  /// bars of exactly zero. The CSV/JSON writers render NaN as an empty
+  /// field / null.
   [[nodiscard]] double variance() const {
-    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1)
+                  : std::numeric_limits<double>::quiet_NaN();
   }
   [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
-  /// Standard error of the mean.
+  /// Standard error of the mean; NaN for n < 2 (see variance()).
   [[nodiscard]] double sem() const {
-    return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+    return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_))
+                  : std::numeric_limits<double>::quiet_NaN();
   }
   [[nodiscard]] double min() const {
     return n_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();

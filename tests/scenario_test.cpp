@@ -140,6 +140,43 @@ TEST(Sweep, EnvOverrides) {
   ::unsetenv("WSN_FIELDS");
 }
 
+TEST(Sweep, EnvRejectsMalformedValuesLoudly) {
+  // atoi would have silently accepted all of these; the strtol/strtod
+  // parser rejects them (with a stderr warning) and keeps the fallback.
+  for (const char* bad : {"abc", "12abc", "0", "-3", "", " 5 ",
+                          "99999999999999999999999999"}) {
+    ::setenv("WSN_FIELDS", bad, 1);
+    EXPECT_EQ(fields_from_env(4), 4) << "WSN_FIELDS=" << bad;
+  }
+  ::unsetenv("WSN_FIELDS");
+
+  for (const char* bad : {"zero", "0", "-5", "nan", "inf", "1e400", ""}) {
+    ::setenv("WSN_SIM_TIME", bad, 1);
+    EXPECT_DOUBLE_EQ(sim_seconds_from_env(200.0), 200.0)
+        << "WSN_SIM_TIME=" << bad;
+  }
+  ::unsetenv("WSN_SIM_TIME");
+}
+
+TEST(Sweep, EnvLongValidatesRangeAndShape) {
+  ::setenv("WSN_TEST_KNOB", "12", 1);
+  EXPECT_EQ(env_long("WSN_TEST_KNOB", 1, 1, 100), 12);
+  ::setenv("WSN_TEST_KNOB", "101", 1);  // above hi
+  EXPECT_EQ(env_long("WSN_TEST_KNOB", 1, 1, 100), 1);
+  ::setenv("WSN_TEST_KNOB", "0", 1);  // below lo
+  EXPECT_EQ(env_long("WSN_TEST_KNOB", 1, 1, 100), 1);
+  ::setenv("WSN_TEST_KNOB", "7.5", 1);  // trailing junk
+  EXPECT_EQ(env_long("WSN_TEST_KNOB", 1, 1, 100), 1);
+  ::unsetenv("WSN_TEST_KNOB");
+  EXPECT_EQ(env_long("WSN_TEST_KNOB", 9, 1, 100), 9);
+
+  ::setenv("WSN_TEST_KNOB", "2.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("WSN_TEST_KNOB", 1.0, 0.0, 10.0), 2.25);
+  ::setenv("WSN_TEST_KNOB", "-1", 1);
+  EXPECT_DOUBLE_EQ(env_double("WSN_TEST_KNOB", 1.0, 0.0, 10.0), 1.0);
+  ::unsetenv("WSN_TEST_KNOB");
+}
+
 TEST(Experiment, PerNodeEnergyExposedAndConsistent) {
   const RunResult res = run_experiment(small_config(core::Algorithm::kGreedy));
   ASSERT_EQ(res.node_energy_joules.size(), 70u);

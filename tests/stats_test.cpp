@@ -22,16 +22,28 @@ TEST(Accumulator, EmptyIsSafe) {
   Accumulator a;
   EXPECT_EQ(a.count(), 0u);
   EXPECT_DOUBLE_EQ(a.mean(), 0.0);
-  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(a.variance()));
   EXPECT_TRUE(std::isnan(a.min()));
 }
 
-TEST(Accumulator, SingleValue) {
+TEST(Accumulator, SingleValueHasUnknownSpread) {
+  // One sample fixes the mean but says nothing about the spread: variance
+  // and SEM are NaN (unknown), never a misleading 0.0. The CSV/JSON
+  // writers turn the NaN into an empty field / null.
   Accumulator a;
   a.add(3.5);
   EXPECT_DOUBLE_EQ(a.mean(), 3.5);
-  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
-  EXPECT_DOUBLE_EQ(a.sem(), 0.0);
+  EXPECT_TRUE(std::isnan(a.variance()));
+  EXPECT_TRUE(std::isnan(a.stddev()));
+  EXPECT_TRUE(std::isnan(a.sem()));
+}
+
+TEST(Accumulator, TwoValuesHaveFiniteSpread) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(a.sem(), std::sqrt(2.0) / std::sqrt(2.0));
 }
 
 TEST(MetricsCollector, CountsDistinctPerSink) {
