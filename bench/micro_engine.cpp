@@ -1,0 +1,192 @@
+// Engine hot-path microbenchmarks with a JSON perf trajectory.
+//
+// Unlike the google-benchmark micro_* binaries (interactive tuning), this
+// harness writes results/BENCH_micro_engine.json via the bench_common
+// writer so engine throughput is diffable across PRs with
+// tools/bench_diff.py. Three panels:
+//
+//   queue      raw EventQueue schedule/cancel/pop throughput (ops/sec)
+//   channel    arrival-delivery throughput of a broadcast storm on the
+//              fig-5 350-node field (arrivals/sec)
+//   50/200/350 end-to-end run_experiment at the fig-5 density points:
+//              simulated seconds per wall second and dispatched events/sec
+//
+// Scale knobs: WSN_SIM_TIME (default 30 s per end-to-end run), WSN_FIELDS
+// (default 3 repetitions per panel), WSN_MICRO_SCALE (default 4; divides
+// to 1 for CI smoke runs). The end-to-end panel prints each run's metric
+// digest — same seed must give the same digest whatever the engine does.
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mac/channel.hpp"
+#include "mac/mac_base.hpp"
+#include "net/field.hpp"
+#include "net/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/digest.hpp"
+
+namespace {
+
+using namespace wsn;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Panel 1: the queue alone. Schedules a batch of randomly-timed events,
+/// cancels every third one, drains the rest; counts every schedule, cancel
+/// and pop as one op.
+double queue_ops_per_sec(int rounds) {
+  sim::Rng rng{42};
+  sim::EventQueue q;
+  constexpr int kBatch = 50'000;
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(kBatch);
+  std::uint64_t ops = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    handles.clear();
+    for (int i = 0; i < kBatch; ++i) {
+      handles.push_back(q.schedule(
+          sim::Time::nanos(rng.uniform_int(0, 1'000'000'000)), [] {}));
+    }
+    ops += kBatch;
+    for (int i = 0; i < kBatch; i += 3) {
+      q.cancel(handles[static_cast<std::size_t>(i)]);
+      ++ops;
+    }
+    while (!q.empty()) {
+      q.pop();
+      ++ops;
+    }
+  }
+  return static_cast<double>(ops) / seconds_since(t0);
+}
+
+/// Counts deliveries; no protocol reaction, so the panel isolates channel
+/// fan-out + event-engine cost.
+class CountingMac final : public mac::MacBase {
+ public:
+  CountingMac(sim::Simulator& sim, mac::Channel& channel, net::NodeId id,
+              const mac::EnergyParams& energy)
+      : MacBase{sim, channel, id, energy} {}
+
+  void send(net::Frame /*frame*/) override {}
+  void set_alive(bool alive) override { alive_ = alive; }
+  void arrival_start(const mac::TransmissionPtr& /*tx*/,
+                     bool decodable) override {
+    arrival_starts += decodable ? 1u : 0u;
+  }
+  void arrival_end(const mac::TransmissionPtr& /*tx*/) override {
+    ++arrival_ends;
+  }
+
+  std::uint64_t arrival_starts = 0;
+  std::uint64_t arrival_ends = 0;
+};
+
+/// Panel 2: a staggered broadcast storm on the fig-5 350-node field. Every
+/// transmission fans out to the full carrier-sense disc (~150 radios at
+/// this density), which is exactly the per-event load §5.1 runs at.
+double channel_arrivals_per_sec(int transmissions) {
+  net::FieldSpec spec;
+  spec.nodes = 350;
+  sim::Rng field_rng{7};
+  const auto positions = net::generate_connected_field(spec, field_rng);
+  const net::Topology topo{positions, spec.radio_range_m,
+                           spec.carrier_sense_range_m};
+
+  sim::Simulator sim;
+  mac::Channel channel{sim, topo};
+  mac::EnergyParams energy;
+  std::vector<std::unique_ptr<CountingMac>> macs;
+  macs.reserve(topo.node_count());
+  for (net::NodeId id = 0; id < topo.node_count(); ++id) {
+    macs.push_back(std::make_unique<CountingMac>(sim, channel, id, energy));
+  }
+
+  const sim::Time airtime = sim::Time::micros(500);
+  for (int i = 0; i < transmissions; ++i) {
+    const auto src = static_cast<net::NodeId>(
+        static_cast<std::size_t>(i) * 13 % topo.node_count());
+    // Staggered so at most a handful of frames overlap, like real traffic.
+    sim.schedule_at(sim::Time::micros(200) * i, [&channel, src, airtime] {
+      net::Frame f;
+      f.src = src;
+      f.dst = net::kBroadcast;
+      f.bytes = 64;
+      channel.begin_transmission(src, std::move(f), mac::FrameKind::kData,
+                                 airtime);
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+  const double wall = seconds_since(t0);
+  std::uint64_t arrivals = 0;
+  for (const auto& m : macs) arrivals += m->arrival_starts + m->arrival_ends;
+  return static_cast<double>(arrivals) / wall;
+}
+
+}  // namespace
+
+int main() {
+  const int reps = scenario::fields_from_env(3);
+  const double secs = scenario::sim_seconds_from_env(30.0);
+  const auto scale =
+      static_cast<int>(scenario::env_long("WSN_MICRO_SCALE", 4, 1, 1000));
+
+  bench::ResultsJson json{"micro_engine"};
+  std::printf("=== micro_engine: discrete-event hot path ===\n");
+  std::printf("reps=%d  sim=%.0fs  scale=%d\n", reps, secs, scale);
+
+  stats::Accumulator queue_ops;
+  for (int r = 0; r < reps; ++r) queue_ops.add(queue_ops_per_sec(scale));
+  std::printf("%-10s | %.3g queue ops/sec\n", "queue", queue_ops.mean());
+  json.add("queue", "engine", {{"ops_per_sec", &queue_ops}});
+
+  stats::Accumulator fanout;
+  for (int r = 0; r < reps; ++r) {
+    fanout.add(channel_arrivals_per_sec(2'500 * scale));
+  }
+  std::printf("%-10s | %.3g arrivals/sec\n", "channel", fanout.mean());
+  json.add("channel", "engine", {{"arrivals_per_sec", &fanout}});
+
+  // End-to-end fig-5 points. The digest printed per run is the same-seed
+  // reproducibility witness: engine rewrites may change throughput, never
+  // the digest of a given seed within one build.
+  for (const std::size_t nodes : {std::size_t{50}, std::size_t{200},
+                                  std::size_t{350}}) {
+    stats::Accumulator sim_per_wall;
+    stats::Accumulator events_per_sec;
+    for (int r = 0; r < reps; ++r) {
+      scenario::ExperimentConfig cfg;
+      cfg.field.nodes = nodes;
+      cfg.duration = sim::Time::seconds(secs);
+      cfg.seed = 1 + static_cast<std::uint64_t>(r);
+      const auto t0 = std::chrono::steady_clock::now();
+      const scenario::RunResult res = scenario::run_experiment(cfg);
+      const double wall = seconds_since(t0);
+      sim_per_wall.add(secs / wall);
+      events_per_sec.add(static_cast<double>(res.events_dispatched) / wall);
+      std::printf("%-10zu | seed %" PRIu64 ": %7.1f sim-s/wall-s  %.3g ev/s"
+                  "  digest %016" PRIx64 "\n",
+                  nodes, cfg.seed, secs / wall,
+                  static_cast<double>(res.events_dispatched) / wall,
+                  stats::digest_of(res.metrics));
+    }
+    json.add(std::to_string(nodes), "engine",
+             {{"sim_per_wall", &sim_per_wall},
+              {"events_per_sec", &events_per_sec}});
+  }
+
+  json.write(reps, secs);
+  return 0;
+}

@@ -118,6 +118,7 @@ diffusion::DiffusionNode::FlushDecision GreedyNode::flush_policy(
     }
     const auto cover = agg::greedy_weighted_set_cover(
         family, static_cast<std::uint32_t>(source_index.size()));
+    d.useful_neighbors.reserve(cover.chosen.size());
     for (std::size_t idx : cover.chosen) {
       d.useful_neighbors.push_back(window[idx].from);
     }
@@ -132,10 +133,14 @@ diffusion::DiffusionNode::FlushDecision GreedyNode::flush_policy(
                    chosen ? "CHOSEN" : "-");
       }
     }
-    std::sort(d.useful_neighbors.begin(), d.useful_neighbors.end());
-    d.useful_neighbors.erase(
-        std::unique(d.useful_neighbors.begin(), d.useful_neighbors.end()),
-        d.useful_neighbors.end());
+    // set_cover picks each window entry at most once, but two entries can
+    // share a sender; dedup only when duplicates are possible.
+    if (d.useful_neighbors.size() > 1) {
+      std::sort(d.useful_neighbors.begin(), d.useful_neighbors.end());
+      d.useful_neighbors.erase(
+          std::unique(d.useful_neighbors.begin(), d.useful_neighbors.end()),
+          d.useful_neighbors.end());
+    }
   }
   return d;
 }

@@ -84,6 +84,7 @@ void DiffusionNode::send_to_data_gradients(net::MessagePtr payload,
 
 std::vector<net::NodeId> DiffusionNode::live_data_gradients() const {
   std::vector<net::NodeId> out;
+  out.reserve(gradients_.size());
   const sim::Time now = sim_->now();
   for (const auto& [nb, g] : gradients_) {
     if (g.type == GradientType::kData && g.expires > now) out.push_back(nb);
@@ -543,10 +544,23 @@ void DiffusionNode::flush() {
     // Split horizon: each downstream neighbour gets every pending item
     // except the ones it delivered to us itself — this keeps items (and
     // therefore set-cover weight) from circulating around gradient cycles.
-    for (net::NodeId nb : gradients) {
+    for (std::size_t gi = 0; gi < gradients.size(); ++gi) {
+      const net::NodeId nb = gradients[gi];
       auto msg = std::make_shared<DataMsg>();
-      for (const PendingItem& p : outgoing) {
-        if (p.from != nb) msg->items.push_back(p.item);
+      const bool excludes_any =
+          std::any_of(outgoing.begin(), outgoing.end(),
+                      [nb](const PendingItem& p) { return p.from == nb; });
+      if (!excludes_any && gi + 1 == gradients.size()) {
+        // Last neighbour with nothing excluded gets the full set moved, not
+        // copied. union_items is dead after this: the only later reader is
+        // the !sent_any branch, unreachable once this message goes out
+        // (union_items is non-empty here, so the send below happens).
+        msg->items = std::move(union_items);
+      } else {
+        msg->items.reserve(outgoing.size());
+        for (const PendingItem& p : outgoing) {
+          if (p.from != nb) msg->items.push_back(p.item);
+        }
       }
       if (msg->items.empty()) continue;
       // An in-use link keeps itself alive: dead next hops are torn down by
@@ -709,15 +723,20 @@ DiffusionNode::FlushDecision OpportunisticNode::flush_policy(
   // No energy-cost accounting; a neighbour was useful if it delivered at
   // least one previously-unseen item this window.
   FlushDecision d;
+  d.useful_neighbors.reserve(window.size());
   for (const IncomingAgg& agg : window) {
     if (agg.had_new_items && agg.from != id()) {
       d.useful_neighbors.push_back(agg.from);
     }
   }
-  std::sort(d.useful_neighbors.begin(), d.useful_neighbors.end());
-  d.useful_neighbors.erase(
-      std::unique(d.useful_neighbors.begin(), d.useful_neighbors.end()),
-      d.useful_neighbors.end());
+  // A neighbour can appear once per aggregate; dedup only when there is
+  // actually something to dedup.
+  if (d.useful_neighbors.size() > 1) {
+    std::sort(d.useful_neighbors.begin(), d.useful_neighbors.end());
+    d.useful_neighbors.erase(
+        std::unique(d.useful_neighbors.begin(), d.useful_neighbors.end()),
+        d.useful_neighbors.end());
+  }
   return d;
 }
 

@@ -20,19 +20,36 @@ TransmissionPtr Channel::begin_transmission(net::NodeId src, net::Frame frame,
   tx->start = sim_->now();
   tx->end = tx->start + airtime;
   tx->id = next_tx_id_++;
+  tx->src = src;
 
+  // Two batched events per transmission, however many radios hear it: one
+  // sweep delivering every arrival start, one delivering every arrival end.
+  sim_->schedule_in(propagation_, [this, tx] { sweep_arrival_starts(tx); });
+  sim_->schedule_in(propagation_ + airtime,
+                    [this, tx] { sweep_arrival_ends(tx); });
+  return tx;
+}
+
+void Channel::sweep_arrival_starts(const TransmissionPtr& tx) {
   // Everyone within carrier-sense range hears the transmission (and pays
-  // receive energy for it); only nodes within radio range can decode it.
-  for (net::NodeId nb : topo_->audible(src)) {
+  // receive energy for it); only the decodable prefix of the audible list
+  // (== nodes within radio range) can decode it. Liveness is sampled here,
+  // at delivery time.
+  const auto audible = topo_->audible(tx->src);
+  const std::size_t prefix = topo_->decodable_prefix(tx->src);
+  for (std::size_t i = 0; i < audible.size(); ++i) {
+    MacBase* mac = macs_[audible[i]];
+    if (mac == nullptr || !mac->alive()) continue;
+    mac->arrival_start(tx, /*decodable=*/i < prefix);
+  }
+}
+
+void Channel::sweep_arrival_ends(const TransmissionPtr& tx) {
+  for (net::NodeId nb : topo_->audible(tx->src)) {
     MacBase* mac = macs_[nb];
     if (mac == nullptr || !mac->alive()) continue;
-    const bool decodable = topo_->in_range(src, nb);
-    sim_->schedule_in(propagation_,
-                      [mac, tx, decodable] { mac->arrival_start(tx, decodable); });
-    sim_->schedule_in(propagation_ + airtime,
-                      [mac, tx] { mac->arrival_end(tx); });
+    mac->arrival_end(tx);
   }
-  return tx;
 }
 
 }  // namespace wsn::mac

@@ -26,6 +26,7 @@ struct Transmission {
   sim::Time end;
   bool aborted = false;
   std::uint64_t id = 0;
+  net::NodeId src = 0;  ///< transmitter; keys the arrival sweeps
 };
 
 using TransmissionPtr = std::shared_ptr<Transmission>;
@@ -51,9 +52,14 @@ class Channel {
   /// the simulation starts.
   void attach(net::NodeId id, MacBase* mac) { macs_[id] = mac; }
 
-  /// Starts a transmission from `src`; arrival start/end events are
-  /// scheduled at every live neighbour. Returns the in-flight record so the
-  /// transmitter can abort it (node failure mid-frame).
+  /// Starts a transmission from `src`. Exactly TWO events are scheduled —
+  /// an arrival-start sweep after the propagation delay and an arrival-end
+  /// sweep one airtime later — each delivering to every audible radio in
+  /// the topology's partitioned audible-list order (decodable neighbours
+  /// first, then carrier-sense-only, both by ascending id). Dead or
+  /// detached radios are skipped at sweep (delivery) time. Returns the
+  /// in-flight record so the transmitter can abort it (node failure
+  /// mid-frame).
   TransmissionPtr begin_transmission(net::NodeId src, net::Frame frame,
                                      FrameKind kind, sim::Time airtime);
 
@@ -63,6 +69,9 @@ class Channel {
   }
 
  private:
+  void sweep_arrival_starts(const TransmissionPtr& tx);
+  void sweep_arrival_ends(const TransmissionPtr& tx);
+
   sim::Simulator* sim_;
   const net::Topology* topo_;
   sim::Time propagation_;

@@ -43,7 +43,9 @@ Topology::Topology(std::vector<Vec2> positions, double radio_range,
 
   const double range_sq = range_ * range_;
   const double cs_sq = cs_range_ * cs_range_;
+  std::vector<NodeId> cs_only;  // audible but not decodable, rebuilt per node
   for (NodeId i = 0; i < n; ++i) {
+    cs_only.clear();
     const auto [cx, cy] = cell_of(positions_[i]);
     for (std::int64_t dx = -1; dx <= 1; ++dx) {
       for (std::int64_t dy = -1; dy <= 1; ++dy) {
@@ -52,15 +54,22 @@ Topology::Topology(std::vector<Vec2> positions, double radio_range,
         for (NodeId j : it->second) {
           if (j == i) continue;
           const double d_sq = distance_sq(positions_[i], positions_[j]);
-          if (d_sq < cs_sq) {
-            audible_lists_[i].push_back(j);
-            if (d_sq < range_sq) neighbor_lists_[i].push_back(j);
+          if (d_sq < range_sq) {
+            neighbor_lists_[i].push_back(j);
+          } else if (d_sq < cs_sq) {
+            cs_only.push_back(j);
           }
         }
       }
     }
+    // audible(i) is partitioned: decodable prefix (== neighbors(i), sorted
+    // by id) followed by carrier-sense-only nodes, sorted by id.
     std::sort(neighbor_lists_[i].begin(), neighbor_lists_[i].end());
-    std::sort(audible_lists_[i].begin(), audible_lists_[i].end());
+    std::sort(cs_only.begin(), cs_only.end());
+    audible_lists_[i].reserve(neighbor_lists_[i].size() + cs_only.size());
+    audible_lists_[i] = neighbor_lists_[i];
+    audible_lists_[i].insert(audible_lists_[i].end(), cs_only.begin(),
+                             cs_only.end());
   }
 }
 

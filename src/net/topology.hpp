@@ -41,8 +41,18 @@ class Topology {
   }
 
   /// Nodes within carrier-sense range of `id` (superset of neighbors).
+  ///
+  /// Partitioned for the channel hot path: the first `decodable_prefix(id)`
+  /// entries are exactly `neighbors(id)` (in radio range, sorted by id);
+  /// the rest are carrier-sense-only nodes, also sorted by id. A receiver's
+  /// decodability is therefore a position test, not a distance test.
   [[nodiscard]] std::span<const NodeId> audible(NodeId id) const {
     return {audible_lists_[id].data(), audible_lists_[id].size()};
+  }
+
+  /// Number of leading `audible(id)` entries that are within radio range.
+  [[nodiscard]] std::size_t decodable_prefix(NodeId id) const {
+    return neighbor_lists_[id].size();
   }
 
   [[nodiscard]] bool in_range(NodeId a, NodeId b) const;

@@ -158,6 +158,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
   sim.run_until(config.duration);
 
   // --- harvest ---
+  result.events_dispatched = sim.events_dispatched();
   double total_energy = 0.0;
   double total_active = 0.0;
   stats::Accumulator per_node_energy;

@@ -97,6 +97,7 @@ struct RunResult {
   }
 
   // Traffic accounting summed over nodes.
+  std::uint64_t events_dispatched = 0;  ///< engine events fired this run
   std::uint64_t frames_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t arrivals_corrupted = 0;

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -8,42 +9,61 @@
 namespace wsn::sim {
 
 EventHandle EventQueue::schedule(Time at, Callback fn) {
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{at, seq, std::move(fn)});
-  pending_.insert(seq);
-  return EventHandle{seq};
+  std::uint32_t index;
+  if (free_.empty()) {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    index = free_.back();
+    free_.pop_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  heap_.push_back(Entry{at, next_seq_++, index, slot.gen});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return EventHandle{(static_cast<std::uint64_t>(slot.gen) << 32) |
+                     (static_cast<std::uint64_t>(index) + 1u)};
+}
+
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn.reset();
+  ++slot.gen;  // stales every handle and heap entry for the old occupant
+  free_.push_back(index);
+  --live_;
 }
 
 bool EventQueue::cancel(EventHandle h) {
-  if (!h.valid() || pending_.erase(h.seq_) == 0) return false;
-  // Lazy deletion: remember the sequence number and skip it on pop.
-  cancelled_.insert(h.seq_);
+  const std::uint32_t index = slot_of(h);
+  if (index == kNoSlot || slots_[index].gen != gen_of(h)) return false;
+  // Lazy heap deletion: the entry stays until it surfaces at the top, where
+  // the generation mismatch identifies it as stale.
+  release_slot(index);
   return true;
 }
 
-void EventQueue::drop_cancelled_top() const {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+void EventQueue::drop_stale_top() const {
+  while (!heap_.empty() &&
+         slots_[heap_.front().slot].gen != heap_.front().gen) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
 Time EventQueue::next_time() const {
-  drop_cancelled_top();
-  return heap_.empty() ? Time::max() : heap_.top().at;
+  drop_stale_top();
+  return heap_.empty() ? Time::max() : heap_.front().at;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled_top();
+  drop_stale_top();
   assert(!heap_.empty() && "pop() on empty EventQueue");
-  // priority_queue::top() is const&; the Entry is about to be discarded, so
-  // moving the callback out is safe.
-  auto& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.at, std::move(top.fn)};
-  pending_.erase(top.seq);
-  heap_.pop();
+  const Entry top = heap_.front();
+  Fired fired{top.at, std::move(slots_[top.slot].fn)};
+  release_slot(top.slot);
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
   WSN_AUDIT_CHECK(fired.at >= last_popped_,
                   "event queue popped a time earlier than a previous pop");
   last_popped_ = fired.at;
@@ -51,9 +71,18 @@ EventQueue::Fired EventQueue::pop() {
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
-  cancelled_.clear();
-  pending_.clear();
+  heap_.clear();
+  free_.clear();
+  // Every slot is bumped (not just live ones) so ALL outstanding handles —
+  // including ones already freed — stay stale against future reuse.
+  for (std::uint32_t index = 0;
+       index < static_cast<std::uint32_t>(slots_.size()); ++index) {
+    Slot& slot = slots_[index];
+    slot.fn.reset();
+    ++slot.gen;
+    free_.push_back(index);
+  }
+  live_ = 0;
   last_popped_ = Time::zero();
 }
 

@@ -2,38 +2,45 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace wsn::sim {
 
 /// Opaque handle to a scheduled event; used to cancel it.
 ///
-/// Handles are never reused within one queue, so a stale handle is a safe
-/// no-op to cancel.
+/// A handle packs (slot, generation): slots are recycled but every reuse
+/// bumps the generation, so a stale handle never aliases a newer event and
+/// is a safe no-op to cancel.
 class EventHandle {
  public:
   constexpr EventHandle() = default;
-  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  [[nodiscard]] constexpr bool valid() const { return raw_ != 0; }
   constexpr bool operator==(const EventHandle&) const = default;
 
  private:
   friend class EventQueue;
-  constexpr explicit EventHandle(std::uint64_t seq) : seq_{seq} {}
-  std::uint64_t seq_ = 0;
+  constexpr explicit EventHandle(std::uint64_t raw) : raw_{raw} {}
+  std::uint64_t raw_ = 0;  ///< (generation << 32) | (slot + 1); 0 = invalid
 };
 
 /// Min-heap of (time, insertion order) → callback.
 ///
 /// Ties at equal time are dispatched in insertion order, which makes
 /// multi-node protocol interleavings deterministic.
+///
+/// Hot-path cost contract: schedule, cancel and pop perform **no heap
+/// allocation and no hashing** in steady state. Callbacks live inline
+/// (InlineFn) in a slab of recycled slots; the binary heap holds only
+/// trivially-copyable (time, seq, slot, generation) entries on a flat
+/// vector. Cancellation destroys the callback eagerly (releasing captured
+/// resources immediately) and bumps the slot generation; the heap entry is
+/// dropped lazily when it surfaces, detected by generation mismatch.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFn;
 
   /// Schedules `fn` at absolute time `at`. Returns a cancellation handle.
   EventHandle schedule(Time at, Callback fn);
@@ -44,11 +51,12 @@ class EventQueue {
 
   /// True iff the handle refers to a still-pending event.
   [[nodiscard]] bool pending(EventHandle h) const {
-    return h.valid() && pending_.contains(h.seq_);
+    const std::uint32_t index = slot_of(h);
+    return index != kNoSlot && slots_[index].gen == gen_of(h);
   }
 
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
-  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest pending event; Time::max() when empty.
   [[nodiscard]] Time next_time() const;
@@ -60,13 +68,19 @@ class EventQueue {
   };
   Fired pop();
 
+  /// Drops every pending event (destroying callbacks) and resets the pop
+  /// watermark, but keeps slab and heap capacity so a reused queue stays
+  /// allocation-free. All outstanding handles become stale.
   void clear();
 
  private:
+  /// Heap entry. The callback is NOT here — it stays put in its slot, so
+  /// heap sift operations move only these 24 trivially-copyable bytes.
   struct Entry {
     Time at;
     std::uint64_t seq;
-    Callback fn;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -75,11 +89,32 @@ class EventQueue {
     }
   };
 
-  void drop_cancelled_top() const;
+  /// Slab cell: the inline callback plus the generation stamped into
+  /// handles and heap entries referring to its current occupant.
+  struct Slot {
+    InlineFn fn;
+    std::uint32_t gen = 1;
+  };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  mutable std::unordered_set<std::uint64_t> cancelled_;
-  std::unordered_set<std::uint64_t> pending_;
+  static constexpr std::uint32_t kNoSlot = 0xFFFF'FFFFu;
+
+  /// Slot index of a handle, or kNoSlot when invalid / out of range.
+  [[nodiscard]] std::uint32_t slot_of(EventHandle h) const {
+    const auto index = static_cast<std::uint32_t>(h.raw_ & 0xFFFF'FFFFu) - 1u;
+    return h.valid() && index < slots_.size() ? index : kNoSlot;
+  }
+  [[nodiscard]] static std::uint32_t gen_of(EventHandle h) {
+    return static_cast<std::uint32_t>(h.raw_ >> 32);
+  }
+
+  void drop_stale_top() const;
+  void release_slot(std::uint32_t index);
+
+  mutable std::vector<Entry> heap_;  ///< binary heap via std::push/pop_heap
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  ///< recycled slot indices
+  std::size_t live_ = 0;             ///< pending (scheduled, not yet
+                                     ///< fired/cancelled) events
   std::uint64_t next_seq_ = 1;
   Time last_popped_ = Time::zero();  ///< audit: pop times never decrease
 };

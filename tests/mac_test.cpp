@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "mac/channel.hpp"
@@ -283,6 +284,83 @@ TEST(Mac, BidirectionalTrafficCompletes) {
   rig.sim().run();
   EXPECT_EQ(rig.user(1).received.size(), 20u);
   EXPECT_EQ(rig.user(0).received.size(), 20u);
+}
+
+/// Records the order in which the channel's batched sweeps hit this radio.
+class RecorderMac final : public MacBase {
+ public:
+  RecorderMac(sim::Simulator& sim, Channel& channel, net::NodeId id,
+              const EnergyParams& energy,
+              std::vector<std::pair<net::NodeId, bool>>& starts,
+              std::vector<net::NodeId>& ends)
+      : MacBase{sim, channel, id, energy}, starts_{&starts}, ends_{&ends} {}
+
+  void send(net::Frame /*frame*/) override {}
+  void set_alive(bool alive) override { alive_ = alive; }
+  void arrival_start(const TransmissionPtr& /*tx*/, bool decodable) override {
+    starts_->emplace_back(id(), decodable);
+  }
+  void arrival_end(const TransmissionPtr& /*tx*/) override {
+    ends_->push_back(id());
+  }
+
+ private:
+  std::vector<std::pair<net::NodeId, bool>>* starts_;
+  std::vector<net::NodeId>* ends_;
+};
+
+TEST(Channel, BatchedArrivalsFollowAudibleOrderAndSkipDeadNodes) {
+  // Node 0 transmits. Nodes 1–3 are decodable (within 40 m), nodes 4–5
+  // only carrier-sense the frame (within 80 m). The batched sweeps must
+  // deliver in partitioned audible-list order — decodable prefix by id,
+  // then CS-only by id — with the dead node (2) silently skipped, and
+  // each sweep must be a single event.
+  sim::Simulator sim;
+  const net::Topology topo{
+      {{0, 0}, {10, 0}, {20, 0}, {30, 0}, {50, 0}, {70, 0}}, 40.0, 80.0};
+  Channel channel{sim, topo};
+  EnergyParams energy;
+  std::vector<std::pair<net::NodeId, bool>> starts;
+  std::vector<net::NodeId> ends;
+  std::vector<std::unique_ptr<RecorderMac>> macs;
+  for (net::NodeId i = 0; i < topo.node_count(); ++i) {
+    macs.push_back(
+        std::make_unique<RecorderMac>(sim, channel, i, energy, starts, ends));
+  }
+  macs[2]->set_alive(false);
+
+  net::Frame f;
+  f.src = 0;
+  f.dst = net::kBroadcast;
+  f.bytes = 64;
+  channel.begin_transmission(0, std::move(f), FrameKind::kData,
+                             sim::Time::micros(500));
+  // Two events total on the queue: the start sweep and the end sweep.
+  EXPECT_EQ(sim.events_pending(), 2u);
+  sim.run();
+
+  const std::vector<std::pair<net::NodeId, bool>> want_starts{
+      {1, true}, {3, true}, {4, false}, {5, false}};
+  EXPECT_EQ(starts, want_starts);
+  EXPECT_EQ(ends, (std::vector<net::NodeId>{1, 3, 4, 5}));
+
+  // A node that dies between the sweeps misses the end sweep too.
+  starts.clear();
+  ends.clear();
+  macs[2]->set_alive(true);
+  net::Frame g;
+  g.src = 0;
+  g.dst = net::kBroadcast;
+  g.bytes = 64;
+  channel.begin_transmission(0, std::move(g), FrameKind::kData,
+                             sim::Time::micros(500));
+  sim.schedule_in(sim::Time::micros(100),
+                  [&macs] { macs[3]->set_alive(false); });
+  sim.run();
+  const std::vector<std::pair<net::NodeId, bool>> want_starts2{
+      {1, true}, {2, true}, {3, true}, {4, false}, {5, false}};
+  EXPECT_EQ(starts, want_starts2);
+  EXPECT_EQ(ends, (std::vector<net::NodeId>{1, 2, 4, 5}));
 }
 
 }  // namespace

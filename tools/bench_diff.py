@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files written by bench/bench_common.hpp.
+
+Points are matched by (label, series); every shared metric is reported as
+a baseline → candidate pair with its relative delta. Metrics in these
+files are throughput-style (higher is better) unless named in
+--lower-better, so a *drop* beyond the tolerance counts as a regression.
+
+Usage:
+  tools/bench_diff.py BASELINE.json CANDIDATE.json [--check]
+      [--tolerance 0.15] [--lower-better energy,delay]
+
+Exit status: 0 normally; with --check, 1 when any metric regresses by
+more than the tolerance (or a point/metric present in the baseline
+disappeared). Malformed input always exits 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_points(path: Path) -> tuple[dict, dict[tuple[str, str], dict]]:
+    """Returns (header, {(label, series): {metric: mean}})."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    if not isinstance(doc, dict) or "points" not in doc:
+        sys.exit(f"bench_diff: {path}: not a bench JSON (no 'points')")
+    points: dict[tuple[str, str], dict[str, float]] = {}
+    for p in doc["points"]:
+        key = (str(p.get("label")), str(p.get("series")))
+        metrics = {}
+        for name, stats in p.get("metrics", {}).items():
+            mean = stats.get("mean") if isinstance(stats, dict) else None
+            if isinstance(mean, (int, float)):
+                metrics[name] = float(mean)
+        points[key] = metrics
+    return doc, points
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="Compare two bench JSON files, flagging regressions.")
+    ap.add_argument("baseline", type=Path)
+    ap.add_argument("candidate", type=Path)
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 on any regression beyond the tolerance")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="relative regression threshold (default 0.15)")
+    ap.add_argument("--lower-better", default="",
+                    help="comma-separated metric names where lower is "
+                         "better (e.g. energy,delay)")
+    args = ap.parse_args()
+
+    lower_better = {m for m in args.lower_better.split(",") if m}
+    base_doc, base = load_points(args.baseline)
+    cand_doc, cand = load_points(args.candidate)
+
+    if base_doc.get("figure") != cand_doc.get("figure"):
+        print(f"note: comparing different figures: "
+              f"{base_doc.get('figure')} vs {cand_doc.get('figure')}")
+
+    regressions: list[str] = []
+    print(f"{'point':<22} {'metric':<18} {'baseline':>12} {'candidate':>12} "
+          f"{'delta':>8}")
+    for key in sorted(base):
+        label = f"{key[0]}/{key[1]}"
+        if key not in cand:
+            print(f"{label:<22} {'-':<18} {'present':>12} {'MISSING':>12}")
+            regressions.append(f"{label}: point missing from candidate")
+            continue
+        for name, old in sorted(base[key].items()):
+            if name not in cand[key]:
+                print(f"{label:<22} {name:<18} {old:>12.4g} {'MISSING':>12}")
+                regressions.append(f"{label}.{name}: metric missing")
+                continue
+            new = cand[key][name]
+            delta = (new - old) / old if old != 0 else float("inf")
+            worse = -delta if name in lower_better else delta
+            flag = ""
+            if worse < -args.tolerance:
+                flag = "  REGRESSION"
+                regressions.append(
+                    f"{label}.{name}: {old:.4g} -> {new:.4g} ({delta:+.1%})")
+            print(f"{label:<22} {name:<18} {old:>12.4g} {new:>12.4g} "
+                  f"{delta:>+8.1%}{flag}")
+    for key in sorted(set(cand) - set(base)):
+        print(f"{key[0]}/{key[1]:<15} (new point, no baseline)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%}:")
+        for r in regressions:
+            print(f"  {r}")
+        if args.check:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
