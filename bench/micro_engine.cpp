@@ -10,6 +10,9 @@
 //              fig-5 350-node field (arrivals/sec)
 //   50/200/350 end-to-end run_experiment at the fig-5 density points:
 //              simulated seconds per wall second and dispatched events/sec
+//   protocol   data messages/s through an established 3-hop chain (the
+//              pooled-message + flat-map hot path, no metrics hook), plus
+//              peak RSS and live pool slots sampled at the 350-node point
 //
 // Scale knobs: WSN_SIM_TIME (default 30 s per end-to-end run), WSN_FIELDS
 // (default 3 repetitions per panel), WSN_MICRO_SCALE (default 4; divides
@@ -21,8 +24,14 @@
 #include <cstdio>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "bench_common.hpp"
+#include "core/algorithm.hpp"
 #include "mac/channel.hpp"
+#include "mac/csma_mac.hpp"
 #include "mac/mac_base.hpp"
 #include "net/field.hpp"
 #include "net/topology.hpp"
@@ -135,6 +144,57 @@ double channel_arrivals_per_sec(int transmissions) {
   return static_cast<double>(arrivals) / wall;
 }
 
+/// Peak resident set size in MiB (VmHWM); 0 where unsupported.
+double peak_rss_mib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#endif
+  }
+#endif
+  return 0.0;
+}
+
+/// Panel 4: the protocol data path in isolation. A 4-node chain
+/// source → relay → relay → sink with an established reinforced route —
+/// every data packet exercises the pooled-message allocate/release cycle,
+/// the flat-map per-node state, and the MAC ring, with no metrics hook in
+/// the way. Returns data messages carried per wall second.
+double protocol_chain_msgs_per_sec(double secs) {
+  const std::vector<net::Vec2> chain{{0.0, 0.0}, {30.0, 0.0}, {60.0, 0.0},
+                                     {90.0, 0.0}};
+  sim::Simulator sim;
+  const net::Topology topo{chain, 40.0};
+  mac::Channel channel{sim, topo};
+  const mac::PhyParams phy;
+  const mac::EnergyParams energy;
+  const diffusion::DiffusionParams params;
+  sim::Rng master{1};
+  std::vector<std::unique_ptr<mac::CsmaMac>> macs;
+  std::vector<std::unique_ptr<diffusion::DiffusionNode>> nodes;
+  for (net::NodeId i = 0; i < topo.node_count(); ++i) {
+    macs.push_back(std::make_unique<mac::CsmaMac>(sim, channel, i, phy,
+                                                  energy, master.fork(100 + i)));
+    nodes.push_back(core::make_diffusion_node(
+        core::Algorithm::kOpportunistic, sim, *macs[i], topo.position(i),
+        params, master.fork(500 + i), nullptr));
+  }
+  nodes.back()->make_sink({-10000.0, -10000.0, 10000.0, 10000.0});
+  nodes.front()->set_detecting(true);
+  for (auto& n : nodes) n->start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(sim::Time::seconds(secs));
+  const double wall = seconds_since(t0);
+  std::uint64_t msgs = 0;
+  for (const auto& n : nodes) msgs += n->stats().data_sent;
+  return static_cast<double>(msgs) / wall;
+}
+
 }  // namespace
 
 int main() {
@@ -162,6 +222,9 @@ int main() {
   // End-to-end fig-5 points. The digest printed per run is the same-seed
   // reproducibility witness: engine rewrites may change throughput, never
   // the digest of a given seed within one build.
+  stats::Accumulator pool_live_350;
+  stats::Accumulator pool_slots_350;
+  stats::Accumulator peak_rss_350;
   for (const std::size_t nodes : {std::size_t{50}, std::size_t{200},
                                   std::size_t{350}}) {
     stats::Accumulator sim_per_wall;
@@ -176,6 +239,11 @@ int main() {
       const double wall = seconds_since(t0);
       sim_per_wall.add(secs / wall);
       events_per_sec.add(static_cast<double>(res.events_dispatched) / wall);
+      if (nodes == 350) {
+        pool_live_350.add(static_cast<double>(res.pool_slots_live));
+        pool_slots_350.add(static_cast<double>(res.pool_slots_created));
+        peak_rss_350.add(peak_rss_mib());
+      }
       std::printf("%-10zu | seed %" PRIu64 ": %7.1f sim-s/wall-s  %.3g ev/s"
                   "  digest %016" PRIx64 "\n",
                   nodes, cfg.seed, secs / wall,
@@ -186,6 +254,22 @@ int main() {
              {{"sim_per_wall", &sim_per_wall},
               {"events_per_sec", &events_per_sec}});
   }
+
+  // Protocol data-path panel: a long chain run (10× the end-to-end sim
+  // time) so the steady-state pooled cycle dominates setup.
+  stats::Accumulator chain_msgs;
+  for (int r = 0; r < reps; ++r) {
+    chain_msgs.add(protocol_chain_msgs_per_sec(10.0 * secs));
+  }
+  std::printf("%-10s | %.3g data msgs/sec  %.1f MiB peak RSS @350"
+              "  %.0f pool slots (%.0f live) @350\n",
+              "protocol", chain_msgs.mean(), peak_rss_350.mean(),
+              pool_slots_350.mean(), pool_live_350.mean());
+  json.add("protocol", "engine",
+           {{"data_msgs_per_sec", &chain_msgs},
+            {"peak_rss_mib_350", &peak_rss_350},
+            {"pool_slots_created_350", &pool_slots_350},
+            {"pool_slots_live_350", &pool_live_350}});
 
   json.write(reps, secs);
   return 0;

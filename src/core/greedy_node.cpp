@@ -1,7 +1,6 @@
 #include "core/greedy_node.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "agg/set_cover.hpp"
 #include "sim/logger.hpp"
@@ -53,31 +52,38 @@ net::NodeId GreedyNode::choose_upstream(MsgId id) const {
   return graft_nb;
 }
 
-diffusion::DiffusionNode::FlushDecision GreedyNode::flush_policy(
-    const std::vector<DataItem>& outgoing,
-    const std::vector<IncomingAgg>& window) {
-  FlushDecision d;
+std::span<agg::WeightedSet> GreedyNode::claim_family_prefix(std::size_t n) {
+  if (family_scratch_.size() < n) family_scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    family_scratch_[i].elements.clear();  // capacity retained
+    family_scratch_[i].weight = 0.0;
+  }
+  return {family_scratch_.data(), n};
+}
 
+void GreedyNode::flush_policy(const std::vector<DataItem>& outgoing,
+                              std::span<const IncomingAgg> window,
+                              FlushDecision& d) {
   // --- §4.2: price the outgoing aggregate via an event-level cover. ---
   if (!outgoing.empty()) {
-    std::map<std::uint64_t, std::uint32_t> item_index;
+    item_index_.clear();
     for (const DataItem& item : outgoing) {
-      item_index.emplace(item.key.packed(),
-                         static_cast<std::uint32_t>(item_index.size()));
+      item_index_.try_emplace(item.key.packed(),
+                              static_cast<std::uint32_t>(item_index_.size()));
     }
-    std::vector<agg::WeightedSet> family;
-    family.reserve(window.size());
-    for (const IncomingAgg& in : window) {
-      agg::WeightedSet s;
+    const std::span<agg::WeightedSet> family =
+        claim_family_prefix(window.size());
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      const IncomingAgg& in = window[i];
+      agg::WeightedSet& s = family[i];
       for (const DataItem& item : in.items) {
-        auto idx = item_index.find(item.key.packed());
-        if (idx != item_index.end()) s.elements.push_back(idx->second);
+        auto idx = item_index_.find(item.key.packed());
+        if (idx != item_index_.end()) s.elements.push_back(idx->second);
       }
       s.weight = static_cast<double>(in.cost);
-      family.push_back(std::move(s));
     }
     const auto cover = agg::greedy_weighted_set_cover(
-        family, static_cast<std::uint32_t>(item_index.size()));
+        family, static_cast<std::uint32_t>(item_index_.size()));
     if (cover.covered) {
       d.outgoing_cost = static_cast<EnergyCost>(cover.total_weight + 0.5) + 1;
     } else {
@@ -91,19 +97,20 @@ diffusion::DiffusionNode::FlushDecision GreedyNode::flush_policy(
 
   // --- §4.3: truncation cover over *sources*, not events. ---
   if (!window.empty()) {
-    std::map<SourceId, std::uint32_t> source_index;
+    source_index_.clear();
     for (const IncomingAgg& in : window) {
       for (const DataItem& item : in.items) {
-        source_index.emplace(item.key.source,
-                             static_cast<std::uint32_t>(source_index.size()));
+        source_index_.try_emplace(
+            item.key.source, static_cast<std::uint32_t>(source_index_.size()));
       }
     }
-    std::vector<agg::WeightedSet> family;
-    family.reserve(window.size());
-    for (const IncomingAgg& in : window) {
-      agg::WeightedSet s;
+    const std::span<agg::WeightedSet> family =
+        claim_family_prefix(window.size());
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      const IncomingAgg& in = window[i];
+      agg::WeightedSet& s = family[i];
       for (const DataItem& item : in.items) {
-        s.elements.push_back(source_index.at(item.key.source));
+        s.elements.push_back(source_index_.at(item.key.source));
       }
       std::sort(s.elements.begin(), s.elements.end());
       s.elements.erase(std::unique(s.elements.begin(), s.elements.end()),
@@ -114,10 +121,9 @@ diffusion::DiffusionNode::FlushDecision GreedyNode::flush_policy(
       s.weight = total > 0.0
                      ? static_cast<double>(in.cost) * distinct / total
                      : static_cast<double>(in.cost);
-      family.push_back(std::move(s));
     }
     const auto cover = agg::greedy_weighted_set_cover(
-        family, static_cast<std::uint32_t>(source_index.size()));
+        family, static_cast<std::uint32_t>(source_index_.size()));
     d.useful_neighbors.reserve(cover.chosen.size());
     for (std::size_t idx : cover.chosen) {
       d.useful_neighbors.push_back(window[idx].from);
@@ -142,7 +148,6 @@ diffusion::DiffusionNode::FlushDecision GreedyNode::flush_policy(
           d.useful_neighbors.end());
     }
   }
-  return d;
 }
 
 void GreedyNode::on_new_exploratory(const ExplRecord& /*rec*/, MsgId id) {
@@ -162,7 +167,7 @@ void GreedyNode::on_new_exploratory(const ExplRecord& /*rec*/, MsgId id) {
     if (c == kInfiniteCost) return;
     auto& rec_icm = icm_record(id);
     rec_icm.forwarded_c = std::min(rec_icm.forwarded_c, c);
-    auto msg = std::make_shared<diffusion::IncrementalCostMsg>();
+    auto msg = make_msg<diffusion::IncrementalCostMsg>();
     msg->exploratory_id = id;
     msg->new_source = it->second.source;
     msg->cost_c = c;
@@ -187,7 +192,7 @@ void GreedyNode::handle_icm(const diffusion::IncrementalCostMsg& msg,
   if (it != expl_cache().end()) c = std::min(c, it->second.my_cost());
   if (c < icm.forwarded_c && has_data_gradient_out()) {
     icm.forwarded_c = c;
-    auto fwd = std::make_shared<diffusion::IncrementalCostMsg>();
+    auto fwd = make_msg<diffusion::IncrementalCostMsg>();
     fwd->exploratory_id = msg.exploratory_id;
     fwd->new_source = msg.new_source;
     fwd->cost_c = c;

@@ -9,6 +9,7 @@
 // reinforcing neighbours outside the source-level set cover (§4.3).
 #pragma once
 
+#include "agg/set_cover.hpp"
 #include "diffusion/node.hpp"
 
 namespace wsn::core {
@@ -28,9 +29,9 @@ class GreedyNode final : public diffusion::DiffusionNode {
   [[nodiscard]] net::NodeId choose_upstream(diffusion::MsgId id) const override;
 
   /// §4.2 aggregate pricing + §4.3 source-level truncation cover.
-  FlushDecision flush_policy(
-      const std::vector<diffusion::DataItem>& outgoing,
-      const std::vector<IncomingAgg>& window) override;
+  void flush_policy(const std::vector<diffusion::DataItem>& outgoing,
+                    std::span<const IncomingAgg> window,
+                    FlushDecision& decision) override;
 
   /// §4.1: an on-tree source seeing another source's new exploratory event
   /// announces the graft cost down the tree.
@@ -40,6 +41,17 @@ class GreedyNode final : public diffusion::DiffusionNode {
   /// own delivery cost for the same exploratory event when that is smaller.
   void handle_icm(const diffusion::IncrementalCostMsg& msg,
                   net::NodeId from) override;
+
+ private:
+  // Set-cover scratch, reused across flushes (capacity retained) so
+  // pricing an aggregate stops allocating once the fan-in is warm. The
+  // family buffer is used live-prefix style: claim_family_prefix() hands
+  // out the first `n` sets with their element vectors cleared but their
+  // storage intact.
+  sim::FlatMap<std::uint64_t, std::uint32_t> item_index_;
+  sim::FlatMap<diffusion::SourceId, std::uint32_t> source_index_;
+  std::vector<agg::WeightedSet> family_scratch_;
+  [[nodiscard]] std::span<agg::WeightedSet> claim_family_prefix(std::size_t n);
 };
 
 }  // namespace wsn::core

@@ -7,6 +7,7 @@
 #include "diffusion/types.hpp"
 #include "net/types.hpp"
 #include "net/vec2.hpp"
+#include "sim/arena.hpp"
 
 namespace wsn::diffusion {
 
@@ -56,10 +57,20 @@ struct DataItem {
 
 /// An aggregate of one or more data items (paper §4.2). `cost_e` is the
 /// cumulative energy cost attribute computed via set cover at each hop.
+///
+/// The item buffer is arena-backed: protocol code constructs DataMsg with
+/// the simulator's arena so both the message slot (via allocate_shared)
+/// and the items vector recycle — a data send at steady state performs
+/// zero global-heap allocations. The default constructor falls back to
+/// the global heap for tests and tools that craft messages by hand.
 struct DataMsg final : DiffusionMsg {
+  using ItemVec = std::vector<DataItem, sim::ArenaAllocator<DataItem>>;
   DataMsg() : DiffusionMsg(MsgType::kData) {}
+  explicit DataMsg(sim::RecyclingArena& arena)
+      : DiffusionMsg(MsgType::kData),
+        items(sim::ArenaAllocator<DataItem>{&arena}) {}
   MsgId msg_id = 0;
-  std::vector<DataItem> items;
+  ItemVec items;
   EnergyCost cost_e = 0;
 };
 

@@ -9,7 +9,11 @@
 namespace wsn::diffusion {
 namespace {
 constexpr std::string_view kTag = "diffusion";
-constexpr std::size_t kMaxSendersTracked = 4;
+/// Cache-purge cadence. The TTL caches are swept this often, so an entry
+/// lives at most its TTL plus one period (plus the one-second arming
+/// jitter) — the bound the WSN_AUDIT invariant enforces.
+const sim::Time kHousekeepingPeriod = sim::Time::seconds(10.0);
+const sim::Time kHousekeepingJitter = sim::Time::seconds(1.0);
 }  // namespace
 
 DiffusionNode::DiffusionNode(sim::Simulator& sim, mac::MacBase& mac,
@@ -36,8 +40,9 @@ void DiffusionNode::start() {
   trunc_timer_.arm(params_.t_n + rng_.jitter(params_.t_n));
   repair_timer_.arm(params_.repair_silence.scaled(0.5) +
                     rng_.jitter(params_.repair_silence));
-  housekeeping_timer_.arm(sim::Time::seconds(10.0) +
-                          rng_.jitter(sim::Time::seconds(1.0)));
+  housekeeping_timer_.arm(kHousekeepingPeriod +
+                          rng_.jitter(kHousekeepingJitter));
+  WSN_AUDIT_ONLY(last_housekeeping_ = sim_->now();)
 }
 
 void DiffusionNode::make_sink(net::Rect region) {
@@ -64,7 +69,7 @@ void DiffusionNode::send_control(net::NodeId dst, net::MessagePtr payload) {
 }
 
 void DiffusionNode::send_reinforcement(net::NodeId to, MsgId id, bool force) {
-  auto msg = std::make_shared<ReinforcementMsg>();
+  auto msg = make_msg<ReinforcementMsg>();
   msg->exploratory_id = id;
   msg->force = force;
   ++stats_.reinforcements_sent;
@@ -82,18 +87,23 @@ void DiffusionNode::send_to_data_gradients(net::MessagePtr payload,
   }
 }
 
-std::vector<net::NodeId> DiffusionNode::live_data_gradients() const {
-  std::vector<net::NodeId> out;
-  out.reserve(gradients_.size());
+const std::vector<net::NodeId>& DiffusionNode::live_data_gradients() {
+  gradient_scratch_.clear();
   const sim::Time now = sim_->now();
   for (const auto& [nb, g] : gradients_) {
-    if (g.type == GradientType::kData && g.expires > now) out.push_back(nb);
+    if (g.type == GradientType::kData && g.expires > now) {
+      gradient_scratch_.push_back(nb);
+    }
   }
-  return out;
+  return gradient_scratch_;
 }
 
 bool DiffusionNode::has_data_gradient_out() const {
-  return !live_data_gradients().empty();
+  const sim::Time now = sim_->now();
+  for (const auto& [nb, g] : gradients_) {
+    if (g.type == GradientType::kData && g.expires > now) return true;
+  }
+  return false;
 }
 
 bool DiffusionNode::is_suspect(net::NodeId nb) const {
@@ -118,13 +128,20 @@ void DiffusionNode::cascade_negative_upstream() {
       ++stats_.negatives_sent;
       WSN_LOG_AT(sim::LogLevel::kDebug, now, kTag, "node %u NR(cascade) -> %u",
                  id(), nb);
-      send_control(nb, std::make_shared<NegativeReinforcementMsg>());
+      send_control(nb, make_msg<NegativeReinforcementMsg>());
     }
   }
 }
 
 std::vector<net::NodeId> DiffusionNode::data_gradient_neighbors() const {
-  return live_data_gradients();
+  // Inspection-only (tests, tree extraction): builds a fresh vector so it
+  // stays const and does not disturb the flush path's scratch buffer.
+  std::vector<net::NodeId> out;
+  const sim::Time now = sim_->now();
+  for (const auto& [nb, g] : gradients_) {
+    if (g.type == GradientType::kData && g.expires > now) out.push_back(nb);
+  }
+  return out;
 }
 
 std::vector<std::pair<net::NodeId, GradientType>> DiffusionNode::gradient_view()
@@ -202,7 +219,7 @@ void DiffusionNode::mac_send_succeeded(const net::Frame& frame) {
 
 void DiffusionNode::send_interest() {
   ++interest_round_;
-  auto msg = std::make_shared<InterestMsg>();
+  auto msg = make_msg<InterestMsg>();
   msg->sink = id();
   msg->round = interest_round_;
   msg->region = region_;
@@ -242,7 +259,7 @@ void DiffusionNode::handle_interest(const InterestMsg& msg, net::NodeId from) {
   }
 
   // Re-flood after a small random delay, stamping our own position.
-  auto fwd = std::make_shared<InterestMsg>(msg);
+  auto fwd = make_msg<InterestMsg>(msg);
   fwd->sender_pos = position_;
   auto payload = std::static_pointer_cast<const net::Message>(std::move(fwd));
   ++stats_.interests_sent;
@@ -295,12 +312,11 @@ void DiffusionNode::generate_data_event() {
   if (passes_filters(item) && pending_keys_.insert(item.key.packed()).second) {
     pending_.push_back(PendingItem{item, id()});
   }
-  IncomingAgg self;
+  IncomingAgg& self = next_window_slot();
   self.from = id();
-  self.items = {item};
+  self.items.push_back(item);
   self.cost = 0;
   self.had_new_items = true;
-  window_aggs_.push_back(std::move(self));
 
   flush_timer_.arm_if_idle(params_.t_a);
   maybe_early_flush();
@@ -313,7 +329,7 @@ void DiffusionNode::generate_exploratory_event() {
 }
 
 void DiffusionNode::send_exploratory_now() {
-  auto msg = std::make_shared<ExploratoryMsg>();
+  auto msg = make_msg<ExploratoryMsg>();
   msg->msg_id = fresh_msg_id();
   msg->source = id();
   msg->seq = next_seq_++;
@@ -344,6 +360,7 @@ void DiffusionNode::send_exploratory_now() {
 
 void DiffusionNode::handle_exploratory(const ExploratoryMsg& msg,
                                        net::NodeId from) {
+  WSN_AUDIT_ONLY(audit_purge_cadence();)
   auto [it, first] = expl_cache_.try_emplace(msg.msg_id);
   ExplRecord& rec = it->second;
   if (first) {
@@ -387,7 +404,7 @@ void DiffusionNode::handle_exploratory(const ExploratoryMsg& msg,
       if (!mac_->alive()) return;
       auto it2 = expl_cache_.find(mid);
       if (it2 == expl_cache_.end()) return;
-      auto fwd = std::make_shared<ExploratoryMsg>();
+      auto fwd = make_msg<ExploratoryMsg>();
       fwd->msg_id = mid;
       fwd->source = it2->second.source;
       fwd->seq = it2->second.seq;
@@ -444,6 +461,7 @@ void DiffusionNode::handle_negative(net::NodeId from) {
 // -------------------------------------------------------------------- data
 
 void DiffusionNode::handle_data(const DataMsg& msg, net::NodeId from) {
+  WSN_AUDIT_ONLY(audit_purge_cadence();)
   if (!seen_data_msgs_.try_emplace(msg.msg_id, sim_->now()).second) {
     return;  // duplicate (e.g. MAC retransmission after a lost ACK)
   }
@@ -458,9 +476,9 @@ void DiffusionNode::handle_data(const DataMsg& msg, net::NodeId from) {
   if (fresh_feeder) nstate.last_useful = now;
   last_data_in_ = now;
 
-  IncomingAgg rec;
+  IncomingAgg& rec = next_window_slot();
   rec.from = from;
-  rec.items = msg.items;
+  rec.items.assign(msg.items.begin(), msg.items.end());
   rec.cost = msg.cost_e;
   for (const DataItem& item : msg.items) {
     const bool is_new = seen_items_.try_emplace(item.key.packed(), now).second;
@@ -478,7 +496,6 @@ void DiffusionNode::handle_data(const DataMsg& msg, net::NodeId from) {
       pending_.push_back(PendingItem{item, from});
     }
   }
-  window_aggs_.push_back(std::move(rec));
 
   if (!is_aggregation_point()) {
     flush();
@@ -499,68 +516,78 @@ bool DiffusionNode::is_aggregation_point() const {
   return false;
 }
 
+DiffusionNode::IncomingAgg& DiffusionNode::next_window_slot() {
+  if (window_live_ == window_aggs_.size()) window_aggs_.emplace_back();
+  IncomingAgg& slot = window_aggs_[window_live_++];
+  slot.from = net::kNoNode;
+  slot.items.clear();  // capacity retained
+  slot.cost = 0;
+  slot.had_new_items = false;
+  return slot;
+}
+
 void DiffusionNode::maybe_early_flush() {
   if (expected_sources_.empty() || pending_.empty()) return;
   // Flush as soon as everything we forwarded last time is present again
   // (paper §4.2: enough data ⇒ no further delay).
-  std::set<SourceId> have;
-  for (const PendingItem& p : pending_) have.insert(p.item.key.source);
+  have_scratch_.clear();
+  for (const PendingItem& p : pending_) have_scratch_.insert(p.item.key.source);
   for (SourceId s : expected_sources_) {
-    if (!have.contains(s)) return;
+    if (!have_scratch_.contains(s)) return;
   }
   flush();
 }
 
 void DiffusionNode::flush() {
   flush_timer_.cancel();
-  if (window_aggs_.empty() && pending_.empty()) return;
+  if (window_live_ == 0 && pending_.empty()) return;
 
-  std::vector<IncomingAgg> window = std::move(window_aggs_);
-  window_aggs_.clear();
-  std::vector<PendingItem> outgoing = std::move(pending_);
-  pending_.clear();
-  pending_keys_.clear();
+  // Everything below works out of capacity-retaining scratch buffers and
+  // the live window/pending prefixes, consumed on every exit path, so a
+  // warm flush performs no heap allocation.
+  const std::span<const IncomingAgg> window{window_aggs_.data(), window_live_};
+  union_scratch_.clear();
+  union_scratch_.reserve(pending_.size());
+  for (const PendingItem& p : pending_) union_scratch_.push_back(p.item);
 
-  std::vector<DataItem> union_items;
-  union_items.reserve(outgoing.size());
-  for (const PendingItem& p : outgoing) union_items.push_back(p.item);
-
-  const FlushDecision decision = flush_policy(union_items, window);
+  decision_scratch_.outgoing_cost = 0;
+  decision_scratch_.useful_neighbors.clear();
+  flush_policy(union_scratch_, window, decision_scratch_);
   const sim::Time now = sim_->now();
-  for (net::NodeId nb : decision.useful_neighbors) {
+  for (net::NodeId nb : decision_scratch_.useful_neighbors) {
     if (nb != id()) neighbor_data_[nb].last_useful = now;
   }
 
-  if (union_items.empty()) return;
-  if (is_sink_ && !has_data_gradient_out()) return;  // consumed here
+  const auto consume = [this] {
+    window_live_ = 0;
+    pending_.clear();
+    pending_keys_.clear();
+  };
 
-  const auto gradients = live_data_gradients();
+  if (union_scratch_.empty()) {
+    consume();
+    return;
+  }
+  if (is_sink_ && !has_data_gradient_out()) {
+    consume();
+    return;  // consumed here
+  }
+
+  const auto& gradients = live_data_gradients();
   bool sent_any = false;
   if (!gradients.empty()) {
     expected_sources_.clear();
-    for (const DataItem& item : union_items) {
+    for (const DataItem& item : union_scratch_) {
       expected_sources_.insert(item.key.source);
     }
     // Split horizon: each downstream neighbour gets every pending item
     // except the ones it delivered to us itself — this keeps items (and
     // therefore set-cover weight) from circulating around gradient cycles.
-    for (std::size_t gi = 0; gi < gradients.size(); ++gi) {
-      const net::NodeId nb = gradients[gi];
-      auto msg = std::make_shared<DataMsg>();
-      const bool excludes_any =
-          std::any_of(outgoing.begin(), outgoing.end(),
-                      [nb](const PendingItem& p) { return p.from == nb; });
-      if (!excludes_any && gi + 1 == gradients.size()) {
-        // Last neighbour with nothing excluded gets the full set moved, not
-        // copied. union_items is dead after this: the only later reader is
-        // the !sent_any branch, unreachable once this message goes out
-        // (union_items is non-empty here, so the send below happens).
-        msg->items = std::move(union_items);
-      } else {
-        msg->items.reserve(outgoing.size());
-        for (const PendingItem& p : outgoing) {
-          if (p.from != nb) msg->items.push_back(p.item);
-        }
+    for (net::NodeId nb : gradients) {
+      auto msg = make_msg<DataMsg>(sim_->arena());
+      msg->items.reserve(pending_.size());
+      for (const PendingItem& p : pending_) {
+        if (p.from != nb) msg->items.push_back(p.item);
       }
       if (msg->items.empty()) continue;
       // An in-use link keeps itself alive: dead next hops are torn down by
@@ -568,7 +595,7 @@ void DiffusionNode::flush() {
       // reinforcement, so expiry only needs to reap *idle* gradients.
       gradients_[nb].expires = now + params_.gradient_timeout;
       msg->msg_id = fresh_msg_id();
-      msg->cost_e = decision.outgoing_cost;
+      msg->cost_e = decision_scratch_.outgoing_cost;
       const std::uint32_t bytes =
           params_.aggregation->size_bytes(msg->items.size());
       ++stats_.data_sent;
@@ -584,10 +611,10 @@ void DiffusionNode::flush() {
     // No downstream at all, or every gradient points back at the items'
     // own provider (a split-horizon black hole). Either way this node is
     // not delivering: shed the demand and, if we are a source, re-advertise.
-    stats_.items_dropped_no_gradient += union_items.size();
+    stats_.items_dropped_no_gradient += union_scratch_.size();
     WSN_LOG_AT(sim::LogLevel::kDebug, now, kTag,
                "node %u dropped %zu items (no usable gradient, source=%d)",
-               id(), union_items.size(), source_active_ ? 1 : 0);
+               id(), union_scratch_.size(), source_active_ ? 1 : 0);
     cascade_negative_upstream();
     if (source_active_ &&
         now - last_orphan_exploratory_ > params_.interest_period) {
@@ -595,6 +622,7 @@ void DiffusionNode::flush() {
       send_exploratory_now();
     }
   }
+  consume();
 }
 
 // ------------------------------------------------------------- maintenance
@@ -604,7 +632,7 @@ void DiffusionNode::run_truncation() {
   if (!mac_->alive() || !params_.enable_truncation) return;
   // Aggregates awaiting their flush have not had their usefulness judged
   // yet; evaluate them first so fresh feeders are not negged prematurely.
-  if (!window_aggs_.empty()) flush();
+  if (window_live_ > 0) flush();
   const sim::Time now = sim_->now();
   for (auto& [nb, st] : neighbor_data_) {
     const bool still_sending = st.last_data + params_.t_n > now;
@@ -613,7 +641,7 @@ void DiffusionNode::run_truncation() {
       ++stats_.negatives_sent;
       WSN_LOG_AT(sim::LogLevel::kDebug, now, kTag, "node %u NR(trunc) -> %u",
                  id(), nb);
-      send_control(nb, std::make_shared<NegativeReinforcementMsg>());
+      send_control(nb, make_msg<NegativeReinforcementMsg>());
       // Reset the clock so the neighbour gets a full window to improve.
       st.last_useful = now;
     }
@@ -635,10 +663,11 @@ void DiffusionNode::run_repair() {
   // cached upstream. Silence is measured per source so one live path does
   // not mask another's breakage.
   const sim::Time fresh_horizon = now - params_.exploratory_period * 2;
-  // Latest advertisement per silent source.
-  std::unordered_map<SourceId, std::pair<MsgId, sim::Time>> latest;
-  // The per-source pick below tie-breaks on msg id, so the result is
-  // independent of hash-map iteration order. lint:unordered-ok
+  // Latest advertisement per silent source. The per-source pick tie-breaks
+  // on msg id, so it is independent of expl-cache iteration order; in the
+  // healthy steady state nothing is silent and this map stays empty (no
+  // allocation on the periodic path).
+  sim::FlatMap<SourceId, std::pair<MsgId, sim::Time>> latest;
   for (auto& [mid, rec] : expl_cache_) {
     if (rec.source == id() || rec.first_seen < fresh_horizon) continue;
     const auto ls = last_source_item_.find(rec.source);
@@ -652,49 +681,87 @@ void DiffusionNode::run_repair() {
       lit->second = {mid, rec.first_seen};
     }
   }
-  // Repair in source order: the reinforcement sends interleave with the
-  // rest of the event stream, so hash-map iteration order must not leak
-  // into the trajectory.
-  std::vector<std::pair<SourceId, MsgId>> picks;
-  picks.reserve(latest.size());
-  // lint:unordered-ok — drained into `picks` and sorted before use
-  for (const auto& [source, pick] : latest) picks.emplace_back(source, pick.first);
-  std::sort(picks.begin(), picks.end());
-  for (const auto& [source, mid] : picks) {
+  // Repair in source order (FlatMap iterates keys ascending): the
+  // reinforcement sends interleave with the rest of the event stream, so
+  // iteration order must not leak into the trajectory.
+  for (const auto& [source, pick] : latest) {
     ++stats_.repairs_attempted;
-    propagate_reinforcement(mid, /*force=*/true);
+    propagate_reinforcement(pick.first, /*force=*/true);
   }
   if (!latest.empty()) last_repair_ = now;
 }
 
 void DiffusionNode::housekeeping() {
-  housekeeping_timer_.arm(sim::Time::seconds(10.0));
+  housekeeping_timer_.arm(kHousekeepingPeriod);
   const sim::Time now = sim_->now();
+  WSN_AUDIT_ONLY(audit_cache_bounds(now);)
 
-  std::erase_if(seen_items_,
-                [&](const auto& kv) { return kv.second + params_.cache_ttl < now; });
-  std::erase_if(seen_data_msgs_,
-                [&](const auto& kv) { return kv.second + params_.cache_ttl < now; });
-  const sim::Time expl_ttl = params_.exploratory_period * 2 +
-                             sim::Time::seconds(10.0);
-  std::erase_if(expl_cache_, [&](const auto& kv) {
+  seen_items_.erase_if(
+      [&](const auto& kv) { return kv.second + params_.cache_ttl < now; });
+  seen_data_msgs_.erase_if(
+      [&](const auto& kv) { return kv.second + params_.cache_ttl < now; });
+  const sim::Time expl_ttl =
+      params_.exploratory_period * 2 + kHousekeepingPeriod;
+  expl_cache_.erase_if([&](const auto& kv) {
     return kv.second.first_seen + expl_ttl < now;
   });
   // ICM state is keyed by exploratory msg id; drop it with its event.
-  std::erase_if(icm_cache_, [&](const auto& kv) {
-    return !expl_cache_.contains(kv.first);
-  });
-  std::erase_if(gradients_,
-                [&](const auto& kv) { return kv.second.expires <= now; });
-  std::erase_if(suspects_,
-                [&](const auto& kv) { return kv.second <= now; });
-  std::erase_if(send_failures_, [&](const auto& kv) {
-    return !is_suspect(kv.first) && kv.second >= 2;
-  });
-  std::erase_if(neighbor_data_, [&](const auto& kv) {
+  icm_cache_.erase_if(
+      [&](const auto& kv) { return !expl_cache_.contains(kv.first); });
+  gradients_.erase_if(
+      [&](const auto& kv) { return kv.second.expires <= now; });
+  suspects_.erase_if([&](const auto& kv) { return kv.second <= now; });
+  send_failures_.erase_if(
+      [&](const auto& kv) { return !is_suspect(kv.first) && kv.second >= 2; });
+  neighbor_data_.erase_if([&](const auto& kv) {
     return kv.second.last_data + params_.t_n * 4 < now;
   });
+
+#if WSN_AUDIT_ENABLED
+  // Post-purge: ICM state may briefly outlive an exploratory record between
+  // sweeps (an ICM can arrive for an event we never received), but never
+  // across one.
+  for (const auto& [mid, rec] : icm_cache_) {
+    (void)rec;
+    WSN_AUDIT_CHECK(expl_cache_.contains(mid),
+                    "icm cache entry survived the purge of its event");
+  }
+  last_housekeeping_ = now;
+#endif
 }
+
+#if WSN_AUDIT_ENABLED
+void DiffusionNode::audit_purge_cadence() const {
+  // Rigs that never call start() have no purge cycle; nothing to check.
+  if (!housekeeping_timer_.armed()) return;
+  WSN_AUDIT_CHECK(sim_->now() - last_housekeeping_ <=
+                      kHousekeepingPeriod + kHousekeepingJitter,
+                  "duplicate-suppression purge cadence stalled");
+}
+
+void DiffusionNode::audit_cache_bounds(sim::Time now) const {
+  // Every TTL cache entry must die at the first sweep after its TTL, so at
+  // sweep time no entry can be older than TTL + one period (+ arm jitter).
+  const sim::Time slack = kHousekeepingPeriod + kHousekeepingJitter;
+  for (const auto& [key, stamp] : seen_items_) {
+    (void)key;
+    WSN_AUDIT_CHECK(stamp + params_.cache_ttl + slack >= now,
+                    "seen_items entry outlived its TTL bound");
+  }
+  for (const auto& [mid, stamp] : seen_data_msgs_) {
+    (void)mid;
+    WSN_AUDIT_CHECK(stamp + params_.cache_ttl + slack >= now,
+                    "seen_data_msgs entry outlived its TTL bound");
+  }
+  const sim::Time expl_ttl =
+      params_.exploratory_period * 2 + kHousekeepingPeriod;
+  for (const auto& [mid, rec] : expl_cache_) {
+    (void)mid;
+    WSN_AUDIT_CHECK(rec.first_seen + expl_ttl + slack >= now,
+                    "exploratory cache entry outlived its TTL bound");
+  }
+}
+#endif
 
 // ======================================================= OpportunisticNode
 
@@ -717,12 +784,11 @@ net::NodeId OpportunisticNode::choose_upstream(MsgId id) const {
   return net::kNoNode;
 }
 
-DiffusionNode::FlushDecision OpportunisticNode::flush_policy(
-    const std::vector<DataItem>& /*outgoing*/,
-    const std::vector<IncomingAgg>& window) {
+void OpportunisticNode::flush_policy(const std::vector<DataItem>& /*outgoing*/,
+                                     std::span<const IncomingAgg> window,
+                                     FlushDecision& d) {
   // No energy-cost accounting; a neighbour was useful if it delivered at
   // least one previously-unseen item this window.
-  FlushDecision d;
   d.useful_neighbors.reserve(window.size());
   for (const IncomingAgg& agg : window) {
     if (agg.had_new_items && agg.from != id()) {
@@ -737,7 +803,6 @@ DiffusionNode::FlushDecision OpportunisticNode::flush_policy(
         std::unique(d.useful_neighbors.begin(), d.useful_neighbors.end()),
         d.useful_neighbors.end());
   }
-  return d;
 }
 
 }  // namespace wsn::diffusion

@@ -17,10 +17,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
+#include <span>
 #include <vector>
 
 #include "diffusion/messages.hpp"
@@ -29,6 +26,8 @@
 #include "mac/mac_base.hpp"
 #include "net/types.hpp"
 #include "net/vec2.hpp"
+#include "sim/audit.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
@@ -104,6 +103,10 @@ class DiffusionNode : public mac::MacUser {
     sim::Time expires;
   };
 
+  /// Cap on tracked senders per exploratory event — enough for repair
+  /// fallbacks, small enough to live inline in the record.
+  static constexpr std::size_t kMaxSendersTracked = 4;
+
   /// What we remember about one exploratory event.
   struct ExplRecord {
     SourceId source = net::kNoNode;
@@ -112,7 +115,8 @@ class DiffusionNode : public mac::MacUser {
     sim::Time first_seen;
     /// Senders that delivered this event, in arrival order, with the cost
     /// attribute each copy carried (capped; enough for repair fallbacks).
-    std::vector<std::pair<net::NodeId, EnergyCost>> senders;
+    sim::InlineVec<std::pair<net::NodeId, EnergyCost>, kMaxSendersTracked>
+        senders;
     net::NodeId last_upstream = net::kNoNode;  ///< whom we last reinforced
     bool forward_scheduled = false;
 
@@ -157,8 +161,12 @@ class DiffusionNode : public mac::MacUser {
   /// Local reinforcement rule: pick the upstream neighbour for `id`,
   /// skipping `suspect` neighbours; kNoNode if no viable option.
   [[nodiscard]] virtual net::NodeId choose_upstream(MsgId id) const = 0;
-  virtual FlushDecision flush_policy(const std::vector<DataItem>& outgoing,
-                                     const std::vector<IncomingAgg>& window) = 0;
+  /// Prices the outgoing aggregate and marks the useful neighbours into
+  /// `decision` (cleared by the caller). `window` spans the live prefix of
+  /// a reused slot buffer, valid only for the duration of the call.
+  virtual void flush_policy(const std::vector<DataItem>& outgoing,
+                            std::span<const IncomingAgg> window,
+                            FlushDecision& decision) = 0;
   virtual void on_new_exploratory(const ExplRecord& rec, MsgId id) {
     (void)rec;
     (void)id;
@@ -187,13 +195,19 @@ class DiffusionNode : public mac::MacUser {
   [[nodiscard]] bool has_data_gradient_out() const;
   [[nodiscard]] bool is_suspect(net::NodeId nb) const;
   [[nodiscard]] MsgId fresh_msg_id();
-  [[nodiscard]] const std::unordered_map<MsgId, ExplRecord>& expl_cache() const {
-    return expl_cache_;
-  }
-  [[nodiscard]] const std::unordered_map<MsgId, IcmRecord>& icm_cache() const {
-    return icm_cache_;
-  }
+  using ExplCache = sim::FlatMap<MsgId, ExplRecord>;
+  using IcmCache = sim::FlatMap<MsgId, IcmRecord>;
+  [[nodiscard]] const ExplCache& expl_cache() const { return expl_cache_; }
+  [[nodiscard]] const IcmCache& icm_cache() const { return icm_cache_; }
   IcmRecord& icm_record(MsgId id) { return icm_cache_[id]; }
+
+  /// Builds a protocol message in the simulator's recycling pool — the one
+  /// blessed allocation path for per-send messages (tools/lint.py flags
+  /// bare make_shared of message types in src/).
+  template <typename M, typename... Args>
+  [[nodiscard]] std::shared_ptr<M> make_msg(Args&&... args) {
+    return sim_->arena().make<M>(std::forward<Args>(args)...);
+  }
 
   sim::Simulator* sim_;
   mac::MacBase* mac_;
@@ -226,7 +240,12 @@ class DiffusionNode : public mac::MacUser {
   void degrade_gradient(net::NodeId nb);
   void maybe_early_flush();
   [[nodiscard]] bool is_aggregation_point() const;
-  [[nodiscard]] std::vector<net::NodeId> live_data_gradients() const;
+  /// Fills and returns `gradient_scratch_` with the live data-gradient
+  /// neighbours (ascending id); valid until the next call.
+  [[nodiscard]] const std::vector<net::NodeId>& live_data_gradients();
+  /// Claims the next reusable aggregation-window slot (fields reset, item
+  /// capacity retained) and extends the live prefix.
+  [[nodiscard]] IncomingAgg& next_window_slot();
 
   // roles
   bool is_sink_ = false;
@@ -236,16 +255,20 @@ class DiffusionNode : public mac::MacUser {
   bool source_active_ = false;
   EventSeq next_seq_ = 0;
 
+  // Per-node state lives in sorted flat maps (sim/flat_map.hpp): fan-out
+  // is bounded by radio degree, iteration is deterministic by key, and
+  // erase/clear keep capacity so steady-state maintenance never allocates.
+
   // gradient state: neighbour -> gradient toward the sink side
-  std::map<net::NodeId, Gradient> gradients_;
+  sim::FlatMap<net::NodeId, Gradient> gradients_;
   // interest duplicate suppression: sink -> highest round rebroadcast
-  std::unordered_map<net::NodeId, std::uint32_t> interest_rounds_;
+  sim::FlatMap<net::NodeId, std::uint32_t> interest_rounds_;
 
   // caches
-  std::unordered_map<MsgId, ExplRecord> expl_cache_;
-  std::unordered_map<MsgId, IcmRecord> icm_cache_;
-  std::unordered_map<std::uint64_t, sim::Time> seen_items_;  // packed key
-  std::unordered_map<MsgId, sim::Time> seen_data_msgs_;
+  ExplCache expl_cache_;
+  IcmCache icm_cache_;
+  sim::FlatMap<std::uint64_t, sim::Time> seen_items_;  // packed key
+  sim::FlatMap<MsgId, sim::Time> seen_data_msgs_;
 
   // aggregation buffer; `from` tracks which neighbour delivered the item
   // (== id() for self-generated) so flushes are split-horizon: an item is
@@ -255,23 +278,41 @@ class DiffusionNode : public mac::MacUser {
     net::NodeId from;
   };
   std::vector<PendingItem> pending_;
-  std::unordered_set<std::uint64_t> pending_keys_;
+  sim::FlatSet<std::uint64_t> pending_keys_;
+  // Window slots are recycled: the live prefix [0, window_live_) is this
+  // round's aggregates; flush resets the count but keeps each slot's item
+  // capacity, so the receive path stops allocating once warm.
   std::vector<IncomingAgg> window_aggs_;
-  std::set<SourceId> expected_sources_;  ///< sources in last outgoing aggregate
+  std::size_t window_live_ = 0;
+  sim::FlatSet<SourceId> expected_sources_;  ///< sources in last outgoing aggregate
 
   // truncation / repair bookkeeping
   struct NeighborDataState {
     sim::Time last_data;
     sim::Time last_useful;
   };
-  std::map<net::NodeId, NeighborDataState> neighbor_data_;
-  std::unordered_map<net::NodeId, sim::Time> suspects_;
+  sim::FlatMap<net::NodeId, NeighborDataState> neighbor_data_;
+  sim::FlatMap<net::NodeId, sim::Time> suspects_;
   // Consecutive MAC retry-exhaustions per next hop; one transient failure
   // under contention must not tear a working path down.
-  std::unordered_map<net::NodeId, int> send_failures_;
+  sim::FlatMap<net::NodeId, int> send_failures_;
   // Sink only: when each source last delivered a data item here; drives
   // per-source path repair.
-  std::unordered_map<SourceId, sim::Time> last_source_item_;
+  sim::FlatMap<SourceId, sim::Time> last_source_item_;
+
+  // flush-path scratch, reused across rounds (capacity-retaining) so a
+  // steady-state flush is allocation-free once warm
+  std::vector<DataItem> union_scratch_;
+  std::vector<net::NodeId> gradient_scratch_;
+  sim::FlatSet<SourceId> have_scratch_;
+  FlushDecision decision_scratch_;
+
+  // Audit-mode watermark backing the TTL cache-bound invariant: cache
+  // inserts assert the purge cadence is alive, and housekeeping asserts no
+  // entry outlived its TTL plus one purge period.
+  WSN_AUDIT_ONLY(sim::Time last_housekeeping_;)
+  WSN_AUDIT_ONLY(void audit_cache_bounds(sim::Time now) const;)
+  WSN_AUDIT_ONLY(void audit_purge_cadence() const;)
   sim::Time last_data_in_ = sim::Time::zero();
   sim::Time last_repair_ = sim::Time::zero();
   sim::Time last_cascade_ = sim::Time::zero();
@@ -307,8 +348,9 @@ class OpportunisticNode final : public DiffusionNode {
  protected:
   void sink_on_new_exploratory(MsgId id) override;
   [[nodiscard]] net::NodeId choose_upstream(MsgId id) const override;
-  FlushDecision flush_policy(const std::vector<DataItem>& outgoing,
-                             const std::vector<IncomingAgg>& window) override;
+  void flush_policy(const std::vector<DataItem>& outgoing,
+                    std::span<const IncomingAgg> window,
+                    FlushDecision& decision) override;
 };
 
 }  // namespace wsn::diffusion

@@ -14,7 +14,7 @@ TransmissionPtr Channel::begin_transmission(net::NodeId src, net::Frame frame,
                   "transmission with non-positive airtime");
   WSN_AUDIT_CHECK(macs_[src] != nullptr && macs_[src]->alive(),
                   "transmission started by a detached or dead node");
-  auto tx = std::make_shared<Transmission>();
+  auto tx = sim_->arena().make<Transmission>();
   tx->frame = std::move(frame);
   tx->kind = kind;
   tx->start = sim_->now();

@@ -136,7 +136,6 @@ void CsmaMac::start_transmission() {
   state_ = State::kTransmit;
   transmitting_ = true;
   // Our own carrier corrupts anything we were mid-receiving (half duplex).
-  // lint:unordered-ok — sets a flag on every entry, order-insensitive
   for (auto& [txp, st] : arrivals_) st.corrupt = true;
   update_radio_state();
 
@@ -227,8 +226,7 @@ void CsmaMac::send_ack(net::NodeId to) {
     slot_timer_.cancel();
     transmitting_ = true;
     pending_ack_tx_ = true;
-    // lint:unordered-ok — sets a flag on every entry, order-insensitive
-  for (auto& [txp, st] : arrivals_) st.corrupt = true;
+    for (auto& [txp, st] : arrivals_) st.corrupt = true;
     update_radio_state();
     net::Frame ack;
     ack.src = id_;
@@ -246,7 +244,6 @@ void CsmaMac::arrival_start(const TransmissionPtr& tx, bool decodable) {
   const bool was_busy = medium_busy();
   // Overlap with anything already arriving corrupts both (no capture).
   const bool corrupt = transmitting_ || active_arrivals_ > 0;
-  // lint:unordered-ok — marks every in-flight arrival, order-insensitive
   for (auto& [txp, st] : arrivals_) {
     if (!st.corrupt && st.decodable) ++stats_.arrivals_corrupted;
     st.corrupt = true;

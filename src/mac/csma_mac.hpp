@@ -2,13 +2,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 
 #include "mac/mac_base.hpp"
 #include "mac/params.hpp"
 #include "net/types.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/random.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 
@@ -65,7 +65,7 @@ class CsmaMac final : public MacBase {
   sim::Rng rng_;
 
   State state_ = State::kIdle;
-  std::deque<Outgoing> queue_;
+  sim::RingQueue<Outgoing> queue_;
   std::uint32_t cw_;
   std::int32_t backoff_slots_ = -1;  ///< -1: not drawn yet for this attempt
 
@@ -74,12 +74,14 @@ class CsmaMac final : public MacBase {
   bool pending_ack_tx_ = false;       ///< an ACK is scheduled to transmit
 
   int active_arrivals_ = 0;
-  // In-flight arrivals at this radio.
+  // In-flight arrivals at this radio. Flat map: a handful of concurrent
+  // arrivals at most, keyed by transmission identity; pointer order is
+  // fine because every use is a lookup or an order-insensitive flag sweep.
   struct ArrivalState {
     bool corrupt = false;
     bool decodable = true;
   };
-  std::unordered_map<const Transmission*, ArrivalState> arrivals_;
+  sim::FlatMap<const Transmission*, ArrivalState> arrivals_;
 
   sim::Timer difs_timer_;
   sim::Timer slot_timer_;

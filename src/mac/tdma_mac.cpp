@@ -61,7 +61,6 @@ void TdmaMac::on_slot_start() {
 
   Outgoing& out = queue_.front();
   transmitting_ = true;
-  // lint:unordered-ok — sets a flag on every entry, order-insensitive
   for (auto& [txp, ok] : arrivals_) ok = false;  // half duplex corrupts rx
   update_radio_state();
 
@@ -126,7 +125,6 @@ void TdmaMac::arrival_start(const TransmissionPtr& tx, bool decodable) {
   const bool clean = !transmitting_ && active_arrivals_ == 0;
   if (!clean) {
     ++stats_.arrivals_corrupted;
-    // lint:unordered-ok — sets a flag on every entry, order-insensitive
     for (auto& [txp, ok] : arrivals_) ok = false;
   }
   arrivals_.emplace(tx.get(), decodable && clean);

@@ -3,11 +3,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 
 #include "mac/mac_base.hpp"
 #include "mac/params.hpp"
+#include "sim/flat_map.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 
@@ -81,14 +81,14 @@ class TdmaMac final : public MacBase {
 
   TdmaParams params_;
   std::uint32_t num_slots_;
-  std::deque<Outgoing> queue_;
+  sim::RingQueue<Outgoing> queue_;
 
   bool transmitting_ = false;
   bool awaiting_ack_ = false;
   bool ack_tx_in_progress_ = false;
   TransmissionPtr outgoing_tx_;
   int active_arrivals_ = 0;
-  std::unordered_map<const Transmission*, bool> arrivals_;  // -> decodable
+  sim::FlatMap<const Transmission*, bool> arrivals_;  // -> decodable
 
   sim::Timer slot_timer_;
   sim::EventHandle tx_end_event_;

@@ -159,6 +159,11 @@ RunResult run_experiment(const ExperimentConfig& config) {
 
   // --- harvest ---
   result.events_dispatched = sim.events_dispatched();
+  const sim::RecyclingArena::Stats pool = sim.arena().stats();
+  result.pool_acquires = pool.total_acquires;
+  result.pool_slots_created = pool.blocks_created;
+  result.pool_slots_live = pool.blocks_live;
+  result.pool_bytes_reserved = pool.bytes_reserved;
   double total_energy = 0.0;
   double total_active = 0.0;
   stats::Accumulator per_node_energy;

@@ -104,6 +104,13 @@ struct RunResult {
   std::uint64_t drops = 0;
   diffusion::ProtocolStats protocol;
 
+  // Message/transmission pool occupancy at the end of the run (benches
+  // report these; the live count bounds the protocol's working set).
+  std::uint64_t pool_acquires = 0;       ///< pooled allocations, total
+  std::uint64_t pool_slots_created = 0;  ///< distinct heap blocks ever made
+  std::uint64_t pool_slots_live = 0;     ///< checked out at harvest time
+  std::uint64_t pool_bytes_reserved = 0;
+
   // Final data-gradient tree: one (node, downstream-neighbour) edge per
   // live data gradient at the end of the run.
   std::vector<std::pair<net::NodeId, net::NodeId>> tree_edges;

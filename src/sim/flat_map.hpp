@@ -1,0 +1,216 @@
+// Sorted small-vector flat containers for per-node protocol state.
+//
+// `FlatMap`/`FlatSet` store their entries in one sorted contiguous vector:
+// iteration is cache-linear and deterministically key-ordered (a drop-in
+// behavioural match for `std::map`/`std::set`, and a determinism *upgrade*
+// over the unordered containers they replace), lookups are binary
+// searches, and — the point — erase/clear keep the vector's capacity, so
+// a cache that cycles through entries (gradients, duplicate-suppression
+// records) stops allocating once it has seen its working-set high-water
+// mark. The trade-off vs node-based maps: references and iterators are
+// invalidated by any insert or erase, so callers must not hold them across
+// mutations. Sized for protocol fan-outs (radio degree ~10–45 at the
+// paper's densities); not a general-purpose map.
+//
+// `InlineVec` is a fixed-capacity inline vector (no heap at all) for the
+// small capped lists inside records, e.g. an exploratory record's tracked
+// senders.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace wsn::sim {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  [[nodiscard]] iterator begin() { return entries_.begin(); }
+  [[nodiscard]] iterator end() { return entries_.end(); }
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }  // capacity retained
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  [[nodiscard]] iterator find(const Key& key) {
+    auto it = lower_bound(key);
+    return (it != entries_.end() && !comp_(key, it->first)) ? it
+                                                            : entries_.end();
+  }
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    auto it = lower_bound(key);
+    return (it != entries_.end() && !comp_(key, it->first)) ? it
+                                                            : entries_.end();
+  }
+  [[nodiscard]] bool contains(const Key& key) const {
+    return find(key) != entries_.end();
+  }
+
+  Value& operator[](const Key& key) {
+    auto it = lower_bound(key);
+    if (it == entries_.end() || comp_(key, it->first)) {
+      it = entries_.emplace(it, key, Value{});
+    }
+    return it->second;
+  }
+
+  Value& at(const Key& key) {
+    auto it = find(key);
+    if (it == entries_.end()) throw std::out_of_range{"FlatMap::at"};
+    return it->second;
+  }
+  const Value& at(const Key& key) const {
+    auto it = find(key);
+    if (it == entries_.end()) throw std::out_of_range{"FlatMap::at"};
+    return it->second;
+  }
+
+  /// Inserts {key, Value{args...}} if absent; returns {iterator, inserted}.
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const Key& key, Args&&... args) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && !comp_(key, it->first)) return {it, false};
+    it = entries_.emplace(it, std::piecewise_construct,
+                          std::forward_as_tuple(key),
+                          std::forward_as_tuple(std::forward<Args>(args)...));
+    return {it, true};
+  }
+
+  /// std::map-style emplace from a (key, value) pair; first insert wins.
+  template <typename K, typename V>
+  std::pair<iterator, bool> emplace(K&& key, V&& value) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && !comp_(key, it->first)) return {it, false};
+    it = entries_.emplace(it, std::forward<K>(key), std::forward<V>(value));
+    return {it, true};
+  }
+
+  std::size_t erase(const Key& key) {
+    auto it = find(key);
+    if (it == entries_.end()) return 0;
+    entries_.erase(it);
+    return 1;
+  }
+  iterator erase(iterator it) { return entries_.erase(it); }
+
+  /// Member counterpart of std::erase_if; returns the number removed.
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) {
+    const auto first =
+        std::remove_if(entries_.begin(), entries_.end(), std::move(pred));
+    const auto removed = static_cast<std::size_t>(entries_.end() - first);
+    entries_.erase(first, entries_.end());
+    return removed;
+  }
+
+ private:
+  [[nodiscard]] iterator lower_bound(const Key& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [this](const value_type& e, const Key& k) { return comp_(e.first, k); });
+  }
+  [[nodiscard]] const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [this](const value_type& e, const Key& k) { return comp_(e.first, k); });
+  }
+
+  std::vector<value_type> entries_;
+  [[no_unique_address]] Compare comp_;
+};
+
+template <typename Key, typename Compare = std::less<Key>>
+class FlatSet {
+ public:
+  using const_iterator = typename std::vector<Key>::const_iterator;
+
+  [[nodiscard]] const_iterator begin() const { return keys_.begin(); }
+  [[nodiscard]] const_iterator end() const { return keys_.end(); }
+  [[nodiscard]] bool empty() const { return keys_.empty(); }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  void clear() { keys_.clear(); }  // capacity retained
+  void reserve(std::size_t n) { keys_.reserve(n); }
+
+  [[nodiscard]] bool contains(const Key& key) const {
+    auto it = lower_bound(key);
+    return it != keys_.end() && !comp_(key, *it);
+  }
+
+  /// Returns {position, inserted}; duplicates are ignored.
+  std::pair<const_iterator, bool> insert(const Key& key) {
+    auto it = lower_bound(key);
+    if (it != keys_.end() && !comp_(key, *it)) return {it, false};
+    it = keys_.insert(it, key);
+    return {it, true};
+  }
+
+  std::size_t erase(const Key& key) {
+    auto it = lower_bound(key);
+    if (it == keys_.end() || comp_(key, *it)) return 0;
+    keys_.erase(it);
+    return 1;
+  }
+
+ private:
+  [[nodiscard]] typename std::vector<Key>::iterator lower_bound(
+      const Key& key) {
+    return std::lower_bound(keys_.begin(), keys_.end(), key, comp_);
+  }
+  [[nodiscard]] const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(keys_.begin(), keys_.end(), key, comp_);
+  }
+
+  std::vector<Key> keys_;
+  [[no_unique_address]] Compare comp_;
+};
+
+/// Fixed-capacity inline vector: N slots in the object itself, no heap.
+/// push_back beyond capacity is a caller bug (asserted); callers enforce
+/// their own cap (e.g. kMaxSendersTracked) before pushing.
+template <typename T, std::size_t N>
+class InlineVec {
+ public:
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  [[nodiscard]] iterator begin() { return items_; }
+  [[nodiscard]] iterator end() { return items_ + size_; }
+  [[nodiscard]] const_iterator begin() const { return items_; }
+  [[nodiscard]] const_iterator end() const { return items_ + size_; }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] static constexpr std::size_t capacity() { return N; }
+  void clear() { size_ = 0; }
+
+  T& operator[](std::size_t i) { return items_[i]; }
+  const T& operator[](std::size_t i) const { return items_[i]; }
+
+  void push_back(const T& v) {
+    assert(size_ < N);
+    items_[size_++] = v;
+  }
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    assert(size_ < N);
+    items_[size_++] = T{std::forward<Args>(args)...};
+  }
+
+ private:
+  T items_[N] = {};
+  std::size_t size_ = 0;
+};
+
+}  // namespace wsn::sim

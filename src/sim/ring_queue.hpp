@@ -1,0 +1,66 @@
+// Fixed-slot ring buffer FIFO: the MAC outgoing-queue replacement for
+// std::deque, whose chunked storage allocates/frees a page every ~dozen
+// pushes even at steady state. RingQueue keeps a power-of-two slot array
+// that only ever grows; pop_front resets the slot to T{} so held
+// resources (a frame's shared payload) are released immediately, but the
+// storage itself is reused forever.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace wsn::sim {
+
+template <typename T>
+class RingQueue {
+ public:
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  [[nodiscard]] T& front() {
+    assert(count_ > 0);
+    return slots_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    assert(count_ > 0);
+    return slots_[head_];
+  }
+
+  void push_back(T v) {
+    if (count_ == slots_.size()) grow();
+    slots_[(head_ + count_) & (slots_.size() - 1)] = std::move(v);
+    ++count_;
+  }
+
+  void pop_front() {
+    assert(count_ > 0);
+    slots_[head_] = T{};  // release held resources, keep the slot
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --count_;
+  }
+
+  /// Drops all elements (releasing their resources); keeps the slots.
+  void clear() {
+    while (count_ > 0) pop_front();
+    head_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<T> bigger(new_cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(slots_[(head_ + i) & (slots_.size() - 1)]);
+    }
+    slots_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;  // size is always a power of two (or empty)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace wsn::sim

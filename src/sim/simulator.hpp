@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/arena.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -53,7 +54,15 @@ class Simulator {
   }
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
 
+  /// The run's message/transmission pool. Everything with this simulator's
+  /// lifetime (messages, transmissions, their payload buffers) allocates
+  /// here so a steady-state protocol cycle never touches the global heap.
+  [[nodiscard]] RecyclingArena& arena() { return arena_; }
+
  private:
+  // Declared before the event queue: pending closures capture pooled
+  // shared_ptrs, so the arena must outlive the queue's destructor.
+  RecyclingArena arena_;
   EventQueue queue_;
   Time now_ = Time::zero();
   std::uint64_t dispatched_ = 0;

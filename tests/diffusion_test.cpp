@@ -1,6 +1,8 @@
 // Protocol-level tests for directed diffusion (opportunistic baseline).
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "protocol_rig.hpp"
 
 namespace wsn::diffusion {
@@ -183,6 +185,76 @@ TEST(Diffusion, ItemFiltersSuppressForwarding) {
   EXPECT_GT(rig.collector().distinct_received(), 40u);
   EXPECT_LT(rig.collector().distinct_received(),
             rig.collector().distinct_generated() * 6 / 10);
+}
+
+TEST(Diffusion, DuplicateSuppressionCachesExpireByTtl) {
+  // Duplicate suppression must be a *bounded* memory, not a permanent one:
+  // a data msg id is suppressed inside cache_ttl but accepted again after
+  // housekeeping purges it.
+  ProtocolRig rig{chain4(), Algorithm::kOpportunistic};
+  rig.node(0).make_sink(rig.whole_field());
+  rig.start_all();
+  rig.run_for(10.0);  // let interests establish gradients
+
+  auto inject_data = [&rig](MsgId msg_id, EventSeq seq) {
+    auto msg = std::make_shared<DataMsg>();
+    msg->msg_id = msg_id;
+    msg->items.push_back(DataItem{{3, seq}, 0});
+    net::Frame f;
+    f.src = 2;
+    f.dst = 1;
+    f.bytes = 64;
+    f.payload = std::move(msg);
+    rig.node(1).mac_receive(f);
+  };
+
+  inject_data(7001, 1);
+  EXPECT_EQ(rig.node(1).stats().aggregates_received, 1u);
+  rig.run_for(12.0);
+  inject_data(7001, 1);  // inside cache_ttl (10 s): suppressed
+  EXPECT_EQ(rig.node(1).stats().aggregates_received, 1u);
+  rig.run_for(40.0);     // past ttl + housekeeping sweep
+  inject_data(7001, 2);  // same msg id, purged: accepted as fresh
+  EXPECT_EQ(rig.node(1).stats().aggregates_received, 2u);
+}
+
+TEST(Diffusion, PurgedExploratoryIdRefloodsCorrectly) {
+  // An exploratory record outlives two advertisement periods, then is
+  // purged; if the same msg id ever reappears it must be treated as new —
+  // re-cached and re-flooded — not silently swallowed by a stale entry.
+  ProtocolRig rig{chain4(), Algorithm::kOpportunistic};
+  rig.node(0).make_sink(rig.whole_field());
+  rig.start_all();
+  rig.run_for(10.0);  // gradients exist, so node 1 forwards exploratories
+
+  auto inject_expl = [&rig](MsgId msg_id) {
+    auto msg = std::make_shared<ExploratoryMsg>();
+    msg->msg_id = msg_id;
+    msg->source = 3;
+    msg->seq = 1;
+    msg->gen_time_ns = 0;
+    msg->cost_e = 1;
+    net::Frame f;
+    f.src = 2;
+    f.dst = net::kBroadcast;
+    f.bytes = 64;
+    f.payload = std::move(msg);
+    rig.node(1).mac_receive(f);
+  };
+
+  inject_expl(9001);
+  rig.run_for(13.0);  // jittered re-flood fires
+  EXPECT_EQ(rig.node(1).stats().exploratory_sent, 1u);
+  inject_expl(9001);  // duplicate while cached: no second flood
+  rig.run_for(16.0);
+  EXPECT_EQ(rig.node(1).stats().exploratory_sent, 1u);
+
+  // expl ttl = 2 × exploratory_period (50 s) + one sweep period; run well
+  // past it so housekeeping has swept the record.
+  rig.run_for(140.0);
+  inject_expl(9001);
+  rig.run_for(143.0);
+  EXPECT_EQ(rig.node(1).stats().exploratory_sent, 2u);
 }
 
 TEST(Diffusion, StatsCountersMove) {

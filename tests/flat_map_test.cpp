@@ -1,0 +1,200 @@
+// FlatMap/FlatSet equivalence against the std::map/std::set reference
+// model over randomized op streams, iteration-order determinism, and the
+// small companion containers (InlineVec, RingQueue).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/flat_map.hpp"
+#include "sim/random.hpp"
+#include "sim/ring_queue.hpp"
+
+namespace wsn::sim {
+namespace {
+
+TEST(FlatMap, MatchesReferenceModelOverRandomOps) {
+  // Interleaved insert/lookup/erase ops driven by a pinned stream; after
+  // every op the flat map must agree with std::map on size, membership,
+  // values, and full iteration sequence (both are key-sorted).
+  Rng rng{77};
+  FlatMap<int, std::uint64_t> fm;
+  std::map<int, std::uint64_t> ref;
+
+  constexpr int kOps = 20'000;
+  for (int op = 0; op < kOps; ++op) {
+    const int key = static_cast<int>(rng.uniform_int(0, 63));
+    const auto roll = rng.uniform_int(0, 99);
+    if (roll < 35) {
+      fm[key] = static_cast<std::uint64_t>(op);
+      ref[key] = static_cast<std::uint64_t>(op);
+    } else if (roll < 50) {
+      const auto a = fm.try_emplace(key, static_cast<std::uint64_t>(op));
+      const auto b = ref.try_emplace(key, static_cast<std::uint64_t>(op));
+      ASSERT_EQ(a.second, b.second);
+      ASSERT_EQ(a.first->second, b.first->second);
+    } else if (roll < 60) {
+      const auto a = fm.emplace(key, static_cast<std::uint64_t>(op));
+      const auto b = ref.emplace(key, static_cast<std::uint64_t>(op));
+      ASSERT_EQ(a.second, b.second);
+      ASSERT_EQ(a.first->second, b.first->second);
+    } else if (roll < 75) {
+      ASSERT_EQ(fm.erase(key), ref.erase(key));
+    } else if (roll < 90) {
+      const auto a = fm.find(key);
+      const auto b = ref.find(key);
+      ASSERT_EQ(a != fm.end(), b != ref.end());
+      if (b != ref.end()) {
+        ASSERT_EQ(a->second, b->second);
+      }
+      ASSERT_EQ(fm.contains(key), ref.contains(key));
+    } else {
+      const std::uint64_t cutoff = static_cast<std::uint64_t>(
+          rng.uniform_int(0, op > 0 ? op : 1));
+      const auto removed = fm.erase_if(
+          [cutoff](const auto& kv) { return kv.second < cutoff; });
+      const auto ref_removed = std::erase_if(
+          ref, [cutoff](const auto& kv) { return kv.second < cutoff; });
+      ASSERT_EQ(removed, ref_removed);
+    }
+    ASSERT_EQ(fm.size(), ref.size());
+    ASSERT_EQ(fm.empty(), ref.empty());
+    // Same iteration sequence — FlatMap is a behavioural std::map drop-in.
+    auto it = ref.begin();
+    for (const auto& [k, v] : fm) {
+      ASSERT_NE(it, ref.end());
+      ASSERT_EQ(k, it->first);
+      ASSERT_EQ(v, it->second);
+      ++it;
+    }
+    ASSERT_EQ(it, ref.end());
+  }
+}
+
+TEST(FlatMap, IterationIsDeterministicallyKeyOrdered) {
+  // Whatever order keys arrive in, iteration is ascending — the property
+  // the protocol's trajectory determinism rests on.
+  Rng rng{5};
+  std::vector<int> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(i);
+  for (std::size_t i = keys.size(); i > 1; --i) {  // Fisher–Yates
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(keys[i - 1], keys[j]);
+  }
+  FlatMap<int, int> fm;
+  for (int k : keys) fm[k] = k * 2;
+  int expected = 0;
+  for (const auto& [k, v] : fm) {
+    EXPECT_EQ(k, expected);
+    EXPECT_EQ(v, k * 2);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 200);
+}
+
+TEST(FlatMap, AtThrowsOnMissingKey) {
+  FlatMap<int, int> fm;
+  fm[3] = 30;
+  EXPECT_EQ(fm.at(3), 30);
+  EXPECT_THROW(fm.at(4), std::out_of_range);
+}
+
+TEST(FlatSet, MatchesReferenceModelOverRandomOps) {
+  Rng rng{78};
+  FlatSet<std::uint64_t> fs;
+  std::set<std::uint64_t> ref;
+  constexpr int kOps = 20'000;
+  for (int op = 0; op < kOps; ++op) {
+    const auto key = static_cast<std::uint64_t>(rng.uniform_int(0, 127));
+    const auto roll = rng.uniform_int(0, 99);
+    if (roll < 50) {
+      ASSERT_EQ(fs.insert(key).second, ref.insert(key).second);
+    } else if (roll < 75) {
+      ASSERT_EQ(fs.erase(key), ref.erase(key));
+    } else {
+      ASSERT_EQ(fs.contains(key), ref.contains(key));
+    }
+    ASSERT_EQ(fs.size(), ref.size());
+    auto it = ref.begin();
+    for (std::uint64_t k : fs) {
+      ASSERT_NE(it, ref.end());
+      ASSERT_EQ(k, *it);
+      ++it;
+    }
+    ASSERT_EQ(it, ref.end());
+  }
+  fs.clear();
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(InlineVec, HoldsUpToCapacityInline) {
+  InlineVec<std::pair<int, int>, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) v.emplace_back(i, i * 10);
+  EXPECT_EQ(v.size(), 4u);
+  int i = 0;
+  for (const auto& [a, b] : v) {
+    EXPECT_EQ(a, i);
+    EXPECT_EQ(b, i * 10);
+    ++i;
+  }
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back({9, 9});
+  EXPECT_EQ(v[0].first, 9);
+}
+
+TEST(RingQueue, MatchesDequeOverRandomOpsAndWraps) {
+  // FIFO equivalence vs std::deque across growth and wraparound, including
+  // clear() mid-stream.
+  Rng rng{79};
+  RingQueue<std::uint64_t> rq;
+  std::deque<std::uint64_t> ref;
+  std::uint64_t next = 0;
+  constexpr int kOps = 50'000;
+  for (int op = 0; op < kOps; ++op) {
+    const auto roll = rng.uniform_int(0, 99);
+    if (roll < 55 || ref.empty()) {
+      rq.push_back(next);
+      ref.push_back(next);
+      ++next;
+    } else if (roll < 98) {
+      ASSERT_EQ(rq.front(), ref.front());
+      rq.pop_front();
+      ref.pop_front();
+    } else {
+      rq.clear();
+      ref.clear();
+    }
+    ASSERT_EQ(rq.size(), ref.size());
+    ASSERT_EQ(rq.empty(), ref.empty());
+    if (!ref.empty()) {
+      ASSERT_EQ(rq.front(), ref.front());
+    }
+  }
+}
+
+TEST(RingQueue, PopReleasesHeldResources) {
+  // pop_front must drop the slot's payload immediately (a queued frame's
+  // shared buffer must not linger until the slot is overwritten).
+  RingQueue<std::shared_ptr<int>> rq;
+  auto token = std::make_shared<int>(1);
+  rq.push_back(token);
+  EXPECT_EQ(token.use_count(), 2);
+  rq.pop_front();
+  EXPECT_EQ(token.use_count(), 1);
+  rq.push_back(token);
+  rq.clear();
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace wsn::sim

@@ -1,0 +1,196 @@
+// Protocol memory-model tests: the recycling arena itself, steady-state
+// allocation-freeness of the data path over an established route, and a
+// fig-5-style experiment pinned to a loose allocs-per-event ceiling so the
+// pool cannot silently regress back to per-send heap traffic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "diffusion/messages.hpp"
+#include "protocol_rig.hpp"
+#include "scenario/experiment.hpp"
+#include "sim/arena.hpp"
+
+// ---------------------------------------------------------------- counting
+// Global allocation counter, same pattern as event_queue_stress_test: a
+// replacement operator new counts every heap allocation in the process.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+#if defined(__has_feature)
+#define WSN_TEST_HAS_FEATURE(x) __has_feature(x)
+#else
+#define WSN_TEST_HAS_FEATURE(x) 0
+#endif
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    WSN_TEST_HAS_FEATURE(address_sanitizer) ||                       \
+    WSN_TEST_HAS_FEATURE(thread_sanitizer)
+#define WSN_TEST_UNDER_SANITIZER 1
+#else
+#define WSN_TEST_UNDER_SANITIZER 0
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace wsn {
+namespace {
+
+TEST(RecyclingArena, RecyclesSlotsPerSizeClass) {
+  sim::RecyclingArena arena;
+  // First acquisition creates a slot; releasing and re-making the same
+  // shape must reuse it, not create another.
+  auto a = arena.make<diffusion::ExploratoryMsg>();
+  const auto created_once = arena.stats().blocks_created;
+  EXPECT_GE(created_once, 1u);
+  a.reset();
+  EXPECT_EQ(arena.stats().blocks_free, created_once);
+  auto b = arena.make<diffusion::ExploratoryMsg>();
+  EXPECT_EQ(arena.stats().blocks_created, created_once);
+  EXPECT_EQ(arena.stats().blocks_live, created_once);
+  b.reset();
+
+  // Live accounting: N concurrent messages -> N live slots, back to zero
+  // when the last references drop.
+  std::vector<std::shared_ptr<diffusion::ReinforcementMsg>> held;
+  for (int i = 0; i < 8; ++i) {
+    held.push_back(arena.make<diffusion::ReinforcementMsg>());
+  }
+  EXPECT_EQ(arena.stats().blocks_live, 8u);
+  held.clear();
+  EXPECT_EQ(arena.stats().blocks_live, 0u);
+}
+
+TEST(RecyclingArena, PooledDataMsgItemsUseTheArena) {
+  sim::RecyclingArena arena;
+  {
+    auto msg = arena.make<diffusion::DataMsg>(arena);
+    for (int i = 0; i < 32; ++i) {
+      msg->items.push_back(diffusion::DataItem{{1, static_cast<diffusion::EventSeq>(i)}, 0});
+    }
+    EXPECT_GE(arena.stats().blocks_live, 2u);  // slot + item buffer(s)
+  }
+  // Everything returned to the free lists when the message died.
+  EXPECT_EQ(arena.stats().blocks_live, 0u);
+  EXPECT_GT(arena.stats().blocks_free, 0u);
+}
+
+TEST(RecyclingArena, SteadyStateMakeDoesNotTouchTheHeap) {
+  sim::RecyclingArena arena;
+  // Warm one slot per shape.
+  arena.make<diffusion::ExploratoryMsg>().reset();
+  {
+    auto warm = arena.make<diffusion::DataMsg>(arena);
+    warm->items.reserve(16);
+  }
+  const auto before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    auto msg = arena.make<diffusion::DataMsg>(arena);
+    msg->items.reserve(16);
+    msg->items.push_back(diffusion::DataItem{{2, 1}, 0});
+  }
+  const auto after = g_allocs.load(std::memory_order_relaxed);
+#if !WSN_TEST_UNDER_SANITIZER
+  EXPECT_EQ(after - before, 0u) << "pooled make/release cycle hit the heap";
+#else
+  (void)before;
+  (void)after;
+#endif
+}
+
+// A 4-node chain source -> relay -> relay -> sink, all within range of
+// their neighbours only. Once gradients, the reinforced path, and the
+// caches' working set are warm, the periodic data cycle (generate, flush,
+// MAC send/ack, receive, flush, ...) must run without any heap allocation.
+TEST(ProtocolPool, EstablishedDataPathIsAllocationFreeAtSteadyState) {
+  std::vector<net::Vec2> chain{{0.0, 0.0}, {30.0, 0.0}, {60.0, 0.0},
+                               {90.0, 0.0}};
+  testing::ProtocolRig rig{chain, core::Algorithm::kOpportunistic, {},   40.0,
+                           1,     /*with_metrics=*/false};
+  rig.node(3).make_sink(rig.whole_field());
+  rig.node(0).set_detecting(true);
+  rig.start_all();
+
+  // Warm past several exploratory periods (50 s) and housekeeping sweeps so
+  // every cache, scratch buffer, pool bucket, and MAC ring has seen its
+  // working-set high-water mark.
+  rig.run_for(230.0);
+  const auto sent_before = rig.node(0).stats().data_sent;
+
+  const auto before = g_allocs.load(std::memory_order_relaxed);
+  rig.run_for(280.0);
+  const auto after = g_allocs.load(std::memory_order_relaxed);
+
+  // The path carried real traffic during the measured window.
+  EXPECT_GT(rig.node(0).stats().data_sent, sent_before + 50);
+#if !WSN_TEST_UNDER_SANITIZER
+  EXPECT_EQ(after - before, 0u)
+      << "protocol data path allocated at steady state";
+#else
+  (void)before;
+  (void)after;
+#endif
+}
+
+// Fig-5-style field: the pool must absorb per-send message traffic, so
+// total heap allocations stay a small constant per dispatched event even
+// across a full experiment (interest floods, exploratory floods, failures'
+// worth of cache churn). The seed harness ran at ~the same order of
+// allocations *per data packet*; with the pool, the whole-run average must
+// stay under one allocation per two events (warm-up amortised).
+TEST(ProtocolPool, Fig5RunStaysUnderAllocsPerEventCeiling) {
+  scenario::ExperimentConfig cfg;
+  cfg.field.nodes = 50;
+  cfg.duration = sim::Time::seconds(120.0);
+  cfg.seed = 1;
+
+  const auto before = g_allocs.load(std::memory_order_relaxed);
+  const scenario::RunResult result = scenario::run_experiment(cfg);
+  const auto after = g_allocs.load(std::memory_order_relaxed);
+
+  ASSERT_GT(result.events_dispatched, 10'000u);
+  EXPECT_GT(result.pool_acquires, 0u);
+  EXPECT_GT(result.pool_slots_created, 0u);
+  // Slots recycle: the pool must have served far more acquisitions than it
+  // ever created slots for.
+  EXPECT_GT(result.pool_acquires, result.pool_slots_created * 4);
+  // Everything pooled is released by teardown-time of the simulator; at
+  // harvest (nodes still alive) the live count is bounded by in-flight
+  // frames, not by traffic volume.
+  EXPECT_LT(result.pool_slots_live, 2'000u);
+#if !WSN_TEST_UNDER_SANITIZER
+  const double per_event = static_cast<double>(after - before) /
+                           static_cast<double>(result.events_dispatched);
+  EXPECT_LT(per_event, 0.5) << "allocs/event regressed: " << per_event;
+#else
+  (void)before;
+  (void)after;
+#endif
+}
+
+}  // namespace
+}  // namespace wsn

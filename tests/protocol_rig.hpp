@@ -17,9 +17,12 @@ namespace wsn::testing {
 
 class ProtocolRig {
  public:
+  // `with_metrics = false` builds the stack without the MetricsCollector
+  // hook — used by the allocation-freeness test, where the per-packet
+  // bookkeeping of the collector itself would count against the protocol.
   ProtocolRig(std::vector<net::Vec2> positions, core::Algorithm alg,
               diffusion::DiffusionParams params = {}, double range = 40.0,
-              std::uint64_t seed = 1)
+              std::uint64_t seed = 1, bool with_metrics = true)
       : topo_{std::move(positions), range},
         channel_{sim_, topo_},
         params_{params} {
@@ -27,10 +30,9 @@ class ProtocolRig {
     for (net::NodeId i = 0; i < topo_.node_count(); ++i) {
       macs_.push_back(std::make_unique<mac::CsmaMac>(
           sim_, channel_, i, phy_, energy_, master.fork(100 + i)));
-      nodes_.push_back(core::make_diffusion_node(alg, sim_, *macs_[i],
-                                                 topo_.position(i), params_,
-                                                 master.fork(500 + i),
-                                                 &collector_));
+      nodes_.push_back(core::make_diffusion_node(
+          alg, sim_, *macs_[i], topo_.position(i), params_,
+          master.fork(500 + i), with_metrics ? &collector_ : nullptr));
     }
   }
 

@@ -80,7 +80,12 @@ def main() -> int:
                 regressions.append(f"{label}.{name}: metric missing")
                 continue
             new = cand[key][name]
-            delta = (new - old) / old if old != 0 else float("inf")
+            if old != 0:
+                delta = (new - old) / old
+            else:
+                # A zero baseline can't scale: unchanged is 0%, any rise
+                # is unbounded (flagged only for lower-better metrics).
+                delta = 0.0 if new == 0 else float("inf")
             worse = -delta if name in lower_better else delta
             flag = ""
             if worse < -args.tolerance:

@@ -18,6 +18,12 @@ Rules (beyond what clang-tidy covers):
   R4  header-shape    Every .hpp starts with a `//` purpose comment on line 1
                       and its first non-comment, non-blank line is
                       `#pragma once`.
+  R5  hot-path-heap   No bare std::make_shared of protocol messages or MAC
+                      transmissions in src/ — message-shaped objects recycle
+                      through the simulator's pool (sim.arena().make<T>());
+                      a bare make_shared silently reintroduces per-send heap
+                      traffic. Setup-time or test-rig sites may annotate
+                      with `lint:pool-ok` on the line or the line above.
 
 Exit status 0 when clean; 1 with one `path:line: [rule] message` per finding.
 """
@@ -33,6 +39,7 @@ SOURCE_DIRS = ["src", "tests", "bench", "examples"]
 CPP_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
 
 ALLOW_MARK = "lint:unordered-ok"
+POOL_MARK = "lint:pool-ok"
 
 RNG_PATTERN = re.compile(
     r"\b(?:std::)?(?:mt19937(?:_64)?|minstd_rand0?|ranlux\d+(?:_base)?|"
@@ -44,6 +51,8 @@ WALL_CLOCK_PATTERN = re.compile(
 UNORDERED_DECL_PATTERN = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
 RANGE_FOR_PATTERN = re.compile(r"\bfor\s*\(([^;]*?):([^)]*)\)")
+POOL_BYPASS_PATTERN = re.compile(
+    r"\bstd::make_shared\s*<\s*[\w:]*?(?:Msg|Transmission)\s*>")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -118,6 +127,14 @@ class Linter:
                 self.report(path, idx, "rng-source",
                             "use wsn::sim::Rng (src/sim/random) instead of "
                             "ad-hoc std RNGs / rand()")
+            if in_sim and POOL_BYPASS_PATTERN.search(clean):
+                here = raw
+                above = lines[idx - 2] if idx >= 2 else ""
+                if POOL_MARK not in here and POOL_MARK not in above:
+                    self.report(path, idx, "hot-path-heap",
+                                "bare std::make_shared of a pooled type; use "
+                                f"sim.arena().make<T>() or annotate with "
+                                f"{POOL_MARK} for setup-time sites")
             if in_sim and WALL_CLOCK_PATTERN.search(clean):
                 self.report(path, idx, "wall-clock",
                             "wall-clock read in sim code; use "
