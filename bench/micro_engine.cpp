@@ -13,6 +13,9 @@
 //   protocol   data messages/s through an established 3-hop chain (the
 //              pooled-message + flat-map hot path, no metrics hook), plus
 //              peak RSS and live pool slots sampled at the 350-node point
+//   trace      paired 350-node runs, untraced vs traced to a file: the
+//              untraced leg witnesses the <1% tracing-off overhead budget,
+//              the traced leg prices the full varint file sink (records/s)
 //
 // Scale knobs: WSN_SIM_TIME (default 30 s per end-to-end run), WSN_FIELDS
 // (default 3 repetitions per panel), WSN_MICRO_SCALE (default 4; divides
@@ -39,6 +42,7 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "stats/digest.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -270,6 +274,41 @@ int main() {
             {"peak_rss_mib_350", &peak_rss_350},
             {"pool_slots_created_350", &pool_slots_350},
             {"pool_slots_live_350", &pool_live_350}});
+
+  // Trace panel: paired 350-node runs. The untraced leg re-measures the
+  // fig-5 point with the trace hook compiled in but no tracer attached —
+  // bench_diff against the 350 panel keeps the tracing-off cost honest —
+  // and the traced leg runs the same seeds with the full file sink on.
+  stats::Accumulator trace_off;
+  stats::Accumulator trace_on;
+  stats::Accumulator trace_records;
+  for (int r = 0; r < reps; ++r) {
+    scenario::ExperimentConfig cfg;
+    cfg.field.nodes = 350;
+    cfg.duration = sim::Time::seconds(secs);
+    cfg.seed = 1 + static_cast<std::uint64_t>(r);
+    auto t0 = std::chrono::steady_clock::now();
+    scenario::run_experiment(cfg);
+    trace_off.add(secs / seconds_since(t0));
+
+    cfg.trace.path = "/tmp/wsn_micro_engine-{seed}.trc";
+    t0 = std::chrono::steady_clock::now();
+    const scenario::RunResult traced = scenario::run_experiment(cfg);
+    const double wall_on = seconds_since(t0);
+    trace_on.add(secs / wall_on);
+    trace_records.add(
+        static_cast<double>(traced.trace_counters.total()) / wall_on);
+    std::remove(trace::resolve_trace_path(cfg.trace.path, cfg.seed).c_str());
+  }
+  std::printf("%-10s | off %.1f / on %.1f sim-s/wall-s (%+.1f%% traced)"
+              "  %.3g records/sec\n",
+              "trace", trace_off.mean(), trace_on.mean(),
+              (trace_on.mean() / trace_off.mean() - 1.0) * 100.0,
+              trace_records.mean());
+  json.add("trace", "engine",
+           {{"sim_per_wall_off_350", &trace_off},
+            {"sim_per_wall_on_350", &trace_on},
+            {"records_per_sec_350", &trace_records}});
 
   json.write(reps, secs);
   return 0;

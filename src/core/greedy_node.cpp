@@ -4,6 +4,7 @@
 
 #include "agg/set_cover.hpp"
 #include "sim/logger.hpp"
+#include "trace/trace.hpp"
 
 namespace wsn::core {
 
@@ -172,12 +173,16 @@ void GreedyNode::on_new_exploratory(const ExplRecord& /*rec*/, MsgId id) {
     msg->new_source = it->second.source;
     msg->cost_c = c;
     ++stats_.icm_sent;
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kIcmSend, this->id(),
+                   trace::kNoPeer, id, c);
     send_to_data_gradients(std::move(msg), params_.control_bytes);
   });
 }
 
 void GreedyNode::handle_icm(const diffusion::IncrementalCostMsg& msg,
                             net::NodeId from) {
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kIcmRecv, id(), from,
+                 msg.exploratory_id, msg.cost_c);
   auto& icm = icm_record(msg.exploratory_id);
   if (msg.cost_c < icm.best_c) {
     icm.best_c = msg.cost_c;
@@ -197,6 +202,8 @@ void GreedyNode::handle_icm(const diffusion::IncrementalCostMsg& msg,
     fwd->new_source = msg.new_source;
     fwd->cost_c = c;
     ++stats_.icm_sent;
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kIcmSend, id(), trace::kNoPeer,
+                   msg.exploratory_id, c);
     send_to_data_gradients(std::move(fwd), params_.control_bytes);
   }
 }

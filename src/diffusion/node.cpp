@@ -5,6 +5,7 @@
 
 #include "agg/set_cover.hpp"
 #include "sim/logger.hpp"
+#include "trace/trace.hpp"
 
 namespace wsn::diffusion {
 namespace {
@@ -73,6 +74,8 @@ void DiffusionNode::send_reinforcement(net::NodeId to, MsgId id, bool force) {
   msg->exploratory_id = id;
   msg->force = force;
   ++stats_.reinforcements_sent;
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kReinforceSend, this->id(), to, id,
+                 force ? 1 : 0);
   send_control(to, std::move(msg));
 }
 
@@ -128,6 +131,8 @@ void DiffusionNode::cascade_negative_upstream() {
       ++stats_.negatives_sent;
       WSN_LOG_AT(sim::LogLevel::kDebug, now, kTag, "node %u NR(cascade) -> %u",
                  id(), nb);
+      WSN_TRACE_EMIT(sim_, trace::RecordKind::kNegativeSend, id(), nb,
+                     trace::NegativeReason::kCascade, 0);
       send_control(nb, make_msg<NegativeReinforcementMsg>());
     }
   }
@@ -157,13 +162,21 @@ std::vector<std::pair<net::NodeId, GradientType>> DiffusionNode::gradient_view()
 // --------------------------------------------------------------- gradients
 
 void DiffusionNode::refresh_gradient(net::NodeId nb) {
-  auto& g = gradients_[nb];
-  g.expires = sim_->now() + params_.gradient_timeout;
+  auto [it, inserted] = gradients_.try_emplace(nb);
+  if (inserted) {
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kGradientNew, id(), nb,
+                   it->second.type, 0);
+  }
+  it->second.expires = sim_->now() + params_.gradient_timeout;
 }
 
 void DiffusionNode::degrade_gradient(net::NodeId nb) {
   auto it = gradients_.find(nb);
-  if (it != gradients_.end()) it->second.type = GradientType::kExploratory;
+  if (it == gradients_.end()) return;
+  if (it->second.type == GradientType::kData) {
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kTreeChange, id(), nb, 0, 0);
+  }
+  it->second.type = GradientType::kExploratory;
 }
 
 // ---------------------------------------------------------------- receive
@@ -227,6 +240,8 @@ void DiffusionNode::send_interest() {
   msg->sink_pos = position_;
   ++stats_.interests_sent;
   interest_rounds_[id()] = interest_round_;
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kInterestSend, id(), net::kBroadcast,
+                 id(), interest_round_);
   net::Frame f;
   f.dst = net::kBroadcast;
   f.bytes = params_.control_bytes;
@@ -236,9 +251,16 @@ void DiffusionNode::send_interest() {
 }
 
 void DiffusionNode::handle_interest(const InterestMsg& msg, net::NodeId from) {
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kInterestRecv, id(), from, msg.sink,
+                 msg.round);
   refresh_gradient(from);
   auto [it, inserted] = interest_rounds_.try_emplace(msg.sink, 0);
-  if (!inserted && it->second >= msg.round) return;  // already rebroadcast
+  if (!inserted && it->second >= msg.round) {
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kCacheHit, id(), from,
+                   (static_cast<std::uint64_t>(msg.sink) << 32) | msg.round,
+                   trace::TraceCache::kInterestRounds);
+    return;  // already rebroadcast
+  }
   it->second = msg.round;
 
   if (detecting_ && !source_active_ && msg.region.contains(position_)) {
@@ -265,6 +287,9 @@ void DiffusionNode::handle_interest(const InterestMsg& msg, net::NodeId from) {
   ++stats_.interests_sent;
   sim_->schedule_in(rng_.jitter(params_.interest_jitter), [this, payload] {
     if (!mac_->alive()) return;
+    const auto& im = static_cast<const InterestMsg&>(*payload);
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kInterestSend, id(),
+                   net::kBroadcast, im.sink, im.round);
     net::Frame f;
     f.dst = net::kBroadcast;
     f.bytes = params_.control_bytes;
@@ -307,6 +332,8 @@ void DiffusionNode::generate_data_event() {
   item.key = DataItemKey{id(), next_seq_++};
   item.gen_time_ns = sim_->now().as_nanos();
   if (hook_ != nullptr) hook_->on_event_generated(item.key, sim_->now());
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kItemGenerated, id(), trace::kNoPeer,
+                 item.key.packed(), 0);
 
   seen_items_[item.key.packed()] = sim_->now();
   if (passes_filters(item) && pending_keys_.insert(item.key.packed()).second) {
@@ -338,6 +365,10 @@ void DiffusionNode::send_exploratory_now() {
   if (hook_ != nullptr) {
     hook_->on_event_generated(DataItemKey{id(), msg->seq}, sim_->now());
   }
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kItemGenerated, id(), trace::kNoPeer,
+                 (DataItemKey{id(), msg->seq}.packed()), 0);
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kExploratorySend, id(),
+                 net::kBroadcast, msg->msg_id, msg->cost_e);
 
   // Cache our own event so reinforcement chains terminate here.
   ExplRecord rec;
@@ -361,6 +392,8 @@ void DiffusionNode::send_exploratory_now() {
 void DiffusionNode::handle_exploratory(const ExploratoryMsg& msg,
                                        net::NodeId from) {
   WSN_AUDIT_ONLY(audit_purge_cadence();)
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kExploratoryRecv, id(), from,
+                 msg.msg_id, msg.cost_e);
   auto [it, first] = expl_cache_.try_emplace(msg.msg_id);
   ExplRecord& rec = it->second;
   if (first) {
@@ -384,13 +417,20 @@ void DiffusionNode::handle_exploratory(const ExploratoryMsg& msg,
     rec.senders.emplace_back(from, msg.cost_e);
   }
 
-  if (!first) return;
+  if (!first) {
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kCacheHit, id(), from, msg.msg_id,
+                   trace::TraceCache::kExploratory);
+    return;
+  }
 
   // Sinks consume the event (it is a real, low-rate event).
   if (is_sink_ && hook_ != nullptr) {
     seen_items_[DataItemKey{rec.source, rec.seq}.packed()] = sim_->now();
     hook_->on_event_delivered(id(), DataItemKey{rec.source, rec.seq},
                               sim::Time::nanos(rec.gen_time_ns), sim_->now());
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kItemDelivered, id(),
+                   trace::kNoPeer, (DataItemKey{rec.source, rec.seq}.packed()),
+                   sim_->now().as_nanos() - rec.gen_time_ns);
   }
 
   // Re-flood once, after a jitter, carrying our own cost E (paper §4.1:
@@ -411,6 +451,8 @@ void DiffusionNode::handle_exploratory(const ExploratoryMsg& msg,
       fwd->gen_time_ns = it2->second.gen_time_ns;
       fwd->cost_e = it2->second.my_cost();
       ++stats_.exploratory_sent;
+      WSN_TRACE_EMIT(sim_, trace::RecordKind::kExploratorySend, id(),
+                     net::kBroadcast, mid, fwd->cost_e);
       net::Frame f;
       f.dst = net::kBroadcast;
       f.bytes = params_.event_bytes;
@@ -442,7 +484,17 @@ void DiffusionNode::handle_reinforcement(const ReinforcementMsg& msg,
   WSN_LOG_AT(sim::LogLevel::kTrace, sim_->now(), kTag,
              "node %u reinforced by %u (msg %llu)", id(), from,
              static_cast<unsigned long long>(msg.exploratory_id));
-  auto& g = gradients_[from];
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kReinforceRecv, id(), from,
+                 msg.exploratory_id, msg.force ? 1 : 0);
+  auto [git, fresh] = gradients_.try_emplace(from);
+  Gradient& g = git->second;
+  if (fresh) {
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kGradientNew, id(), from,
+                   GradientType::kData, 0);
+  }
+  if (fresh || g.type != GradientType::kData) {
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kTreeChange, id(), from, 1, 0);
+  }
   g.type = GradientType::kData;
   g.expires = sim_->now() + params_.gradient_timeout;
   propagate_reinforcement(msg.exploratory_id, msg.force);
@@ -451,6 +503,7 @@ void DiffusionNode::handle_reinforcement(const ReinforcementMsg& msg,
 void DiffusionNode::handle_negative(net::NodeId from) {
   WSN_LOG_AT(sim::LogLevel::kDebug, sim_->now(), kTag,
              "node %u negatively reinforced by %u", id(), from);
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kNegativeRecv, id(), from, 0, 0);
   degrade_gradient(from);
   if (!has_data_gradient_out() && !is_sink_) {
     // All downstream demand gone: stop expecting data and cascade upstream.
@@ -462,7 +515,11 @@ void DiffusionNode::handle_negative(net::NodeId from) {
 
 void DiffusionNode::handle_data(const DataMsg& msg, net::NodeId from) {
   WSN_AUDIT_ONLY(audit_purge_cadence();)
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kDataRecv, id(), from, msg.msg_id,
+                 msg.items.size());
   if (!seen_data_msgs_.try_emplace(msg.msg_id, sim_->now()).second) {
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kCacheHit, id(), from, msg.msg_id,
+                   trace::TraceCache::kSeenDataMsgs);
     return;  // duplicate (e.g. MAC retransmission after a lost ACK)
   }
   ++stats_.aggregates_received;
@@ -482,7 +539,11 @@ void DiffusionNode::handle_data(const DataMsg& msg, net::NodeId from) {
   rec.cost = msg.cost_e;
   for (const DataItem& item : msg.items) {
     const bool is_new = seen_items_.try_emplace(item.key.packed(), now).second;
-    if (!is_new) continue;
+    if (!is_new) {
+      WSN_TRACE_EMIT(sim_, trace::RecordKind::kCacheHit, id(), from,
+                     item.key.packed(), trace::TraceCache::kSeenItems);
+      continue;
+    }
     rec.had_new_items = true;
     if (is_sink_) {
       last_source_item_[item.key.source] = now;
@@ -490,6 +551,9 @@ void DiffusionNode::handle_data(const DataMsg& msg, net::NodeId from) {
         hook_->on_event_delivered(id(), item.key,
                                   sim::Time::nanos(item.gen_time_ns), now);
       }
+      WSN_TRACE_EMIT(sim_, trace::RecordKind::kItemDelivered, id(),
+                     trace::kNoPeer, item.key.packed(),
+                     now.as_nanos() - item.gen_time_ns);
     }
     if (passes_filters(item) &&
         pending_keys_.insert(item.key.packed()).second) {
@@ -596,6 +660,15 @@ void DiffusionNode::flush() {
       gradients_[nb].expires = now + params_.gradient_timeout;
       msg->msg_id = fresh_msg_id();
       msg->cost_e = decision_scratch_.outgoing_cost;
+      WSN_TRACE_EMIT(sim_, trace::RecordKind::kDataSend, id(), nb, msg->msg_id,
+                     msg->items.size());
+      // lint:trace-ok — batch guard: skip the per-item loop when tracing off
+      if (sim_->tracer() != nullptr) {
+        for (const DataItem& item : msg->items) {
+          WSN_TRACE_EMIT(sim_, trace::RecordKind::kItemForward, id(), nb,
+                         item.key.packed(), msg->msg_id);
+        }
+      }
       const std::uint32_t bytes =
           params_.aggregation->size_bytes(msg->items.size());
       ++stats_.data_sent;
@@ -641,6 +714,8 @@ void DiffusionNode::run_truncation() {
       ++stats_.negatives_sent;
       WSN_LOG_AT(sim::LogLevel::kDebug, now, kTag, "node %u NR(trunc) -> %u",
                  id(), nb);
+      WSN_TRACE_EMIT(sim_, trace::RecordKind::kNegativeSend, id(), nb,
+                     trace::NegativeReason::kTruncation, 0);
       send_control(nb, make_msg<NegativeReinforcementMsg>());
       // Reset the clock so the neighbour gets a full window to improve.
       st.last_useful = now;
@@ -696,26 +771,55 @@ void DiffusionNode::housekeeping() {
   const sim::Time now = sim_->now();
   WSN_AUDIT_ONLY(audit_cache_bounds(now);)
 
-  seen_items_.erase_if(
-      [&](const auto& kv) { return kv.second + params_.cache_ttl < now; });
-  seen_data_msgs_.erase_if(
-      [&](const auto& kv) { return kv.second + params_.cache_ttl < now; });
+  // Purge tallies feed the trace (one kCachePurge per cache that shrank).
+  const auto trace_purge = [this](trace::TraceCache cache, std::size_t n) {
+    if (n > 0) {
+      WSN_TRACE_EMIT(sim_, trace::RecordKind::kCachePurge, id(),
+                     trace::kNoPeer, cache, n);
+    }
+  };
+  trace_purge(trace::TraceCache::kSeenItems,
+              seen_items_.erase_if([&](const auto& kv) {
+                return kv.second + params_.cache_ttl < now;
+              }));
+  trace_purge(trace::TraceCache::kSeenDataMsgs,
+              seen_data_msgs_.erase_if([&](const auto& kv) {
+                return kv.second + params_.cache_ttl < now;
+              }));
   const sim::Time expl_ttl =
       params_.exploratory_period * 2 + kHousekeepingPeriod;
-  expl_cache_.erase_if([&](const auto& kv) {
-    return kv.second.first_seen + expl_ttl < now;
-  });
+  trace_purge(trace::TraceCache::kExploratory,
+              expl_cache_.erase_if([&](const auto& kv) {
+                return kv.second.first_seen + expl_ttl < now;
+              }));
   // ICM state is keyed by exploratory msg id; drop it with its event.
-  icm_cache_.erase_if(
-      [&](const auto& kv) { return !expl_cache_.contains(kv.first); });
-  gradients_.erase_if(
-      [&](const auto& kv) { return kv.second.expires <= now; });
-  suspects_.erase_if([&](const auto& kv) { return kv.second <= now; });
-  send_failures_.erase_if(
-      [&](const auto& kv) { return !is_suspect(kv.first) && kv.second >= 2; });
-  neighbor_data_.erase_if([&](const auto& kv) {
-    return kv.second.last_data + params_.t_n * 4 < now;
-  });
+  trace_purge(trace::TraceCache::kIcm,
+              icm_cache_.erase_if([&](const auto& kv) {
+                return !expl_cache_.contains(kv.first);
+              }));
+  // A data gradient expiring off the tree is a topology event, not just a
+  // purge, so those get a kTreeChange on top of the purge tally.
+  trace_purge(trace::TraceCache::kGradients,
+              gradients_.erase_if([&](const auto& kv) {
+                const bool dead = kv.second.expires <= now;
+                if (dead && kv.second.type == GradientType::kData) {
+                  WSN_TRACE_EMIT(sim_, trace::RecordKind::kTreeChange, id(),
+                                 kv.first, 0, 0);
+                }
+                return dead;
+              }));
+  trace_purge(trace::TraceCache::kSuspects,
+              suspects_.erase_if([&](const auto& kv) {
+                return kv.second <= now;
+              }));
+  trace_purge(trace::TraceCache::kSendFailures,
+              send_failures_.erase_if([&](const auto& kv) {
+                return !is_suspect(kv.first) && kv.second >= 2;
+              }));
+  trace_purge(trace::TraceCache::kNeighborData,
+              neighbor_data_.erase_if([&](const auto& kv) {
+                return kv.second.last_data + params_.t_n * 4 < now;
+              }));
 
 #if WSN_AUDIT_ENABLED
   // Post-purge: ICM state may briefly outlive an exploratory record between

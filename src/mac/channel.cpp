@@ -4,6 +4,7 @@
 
 #include "mac/mac_base.hpp"
 #include "sim/audit.hpp"
+#include "trace/trace.hpp"
 
 namespace wsn::mac {
 
@@ -37,6 +38,8 @@ void Channel::sweep_arrival_starts(const TransmissionPtr& tx) {
   // at delivery time.
   const auto audible = topo_->audible(tx->src);
   const std::size_t prefix = topo_->decodable_prefix(tx->src);
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kChannelSweep, tx->src,
+                 trace::kNoPeer, tx->id, audible.size());
   for (std::size_t i = 0; i < audible.size(); ++i) {
     MacBase* mac = macs_[audible[i]];
     if (mac == nullptr || !mac->alive()) continue;

@@ -33,6 +33,8 @@ void CsmaMac::send(net::Frame frame) {
   if (!alive_) return;
   if (queue_.size() >= phy_.queue_limit) {
     ++stats_.drops_queue_full;
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacDrop, id_, frame.dst,
+                   trace::DropReason::kQueueFull, queue_.size());
     return;
   }
   frame.src = id_;
@@ -65,9 +67,9 @@ void CsmaMac::set_alive(bool alive) {
       sim_->cancel(tx_end_event_);
       tx_end_event_ = sim::EventHandle{};
     }
-    meter_.set_state(sim_->now(), RadioState::kOff);
+    set_radio_state(RadioState::kOff);
   } else {
-    meter_.set_state(sim_->now(), RadioState::kIdle);
+    set_radio_state(RadioState::kIdle);
   }
 }
 
@@ -80,7 +82,7 @@ void CsmaMac::update_radio_state() {
   } else if (active_arrivals_ > 0) {
     s = RadioState::kRx;
   }
-  meter_.set_state(sim_->now(), s);
+  set_radio_state(s);
 }
 
 std::uint32_t CsmaMac::draw_backoff() {
@@ -109,7 +111,11 @@ void CsmaMac::medium_became_idle() {
 
 void CsmaMac::on_difs_elapsed() {
   if (medium_busy()) return;  // raced with an arrival; idle handler re-arms
-  if (backoff_slots_ < 0) backoff_slots_ = static_cast<std::int32_t>(draw_backoff());
+  if (backoff_slots_ < 0) {
+    backoff_slots_ = static_cast<std::int32_t>(draw_backoff());
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacBackoff, id_, trace::kNoPeer,
+                   backoff_slots_, cw_);
+  }
   if (backoff_slots_ == 0) {
     start_transmission();
   } else {
@@ -142,6 +148,8 @@ void CsmaMac::start_transmission() {
   const sim::Time airtime = phy_.frame_airtime(out.frame.bytes);
   outgoing_tx_ =
       channel_->begin_transmission(id_, out.frame, FrameKind::kData, airtime);
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacTxStart, id_, out.frame.dst,
+                 outgoing_tx_->id, out.frame.bytes);
   ++stats_.frames_sent;
   stats_.bytes_sent += out.frame.bytes;
   if (out.attempts > 0) ++stats_.retries;
@@ -153,6 +161,8 @@ void CsmaMac::start_transmission() {
 void CsmaMac::on_tx_end() {
   tx_end_event_ = sim::EventHandle{};
   transmitting_ = false;
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacTxEnd, id_, trace::kNoPeer,
+                 outgoing_tx_ ? outgoing_tx_->id : 0, 0);
   outgoing_tx_.reset();
   update_radio_state();
 
@@ -188,6 +198,8 @@ void CsmaMac::on_ack_timeout() {
   ++out.attempts;
   if (out.attempts > phy_.max_retries) {
     ++stats_.drops_retry_exhausted;
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacDrop, id_, out.frame.dst,
+                   trace::DropReason::kRetryExhausted, out.attempts);
     finish_current(false);
   } else {
     cw_ = std::min(cw_ * 2 + 1, phy_.cw_max);
@@ -233,7 +245,10 @@ void CsmaMac::send_ack(net::NodeId to) {
     ack.dst = to;
     ack.bytes = 0;
     const sim::Time airtime = phy_.ack_airtime();
-    channel_->begin_transmission(id_, ack, FrameKind::kAck, airtime);
+    const TransmissionPtr ack_tx =
+        channel_->begin_transmission(id_, ack, FrameKind::kAck, airtime);
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacTxStart, id_, to, ack_tx->id,
+                   0);
     ++stats_.acks_sent;
     tx_end_event_ = sim_->schedule_in(airtime, [this] { on_tx_end(); });
   });
@@ -245,10 +260,18 @@ void CsmaMac::arrival_start(const TransmissionPtr& tx, bool decodable) {
   // Overlap with anything already arriving corrupts both (no capture).
   const bool corrupt = transmitting_ || active_arrivals_ > 0;
   for (auto& [txp, st] : arrivals_) {
-    if (!st.corrupt && st.decodable) ++stats_.arrivals_corrupted;
+    if (!st.corrupt && st.decodable) {
+      ++stats_.arrivals_corrupted;
+      WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacCollision, id_, txp->src,
+                     txp->id, 0);
+    }
     st.corrupt = true;
   }
-  if (corrupt && decodable) ++stats_.arrivals_corrupted;
+  if (corrupt && decodable) {
+    ++stats_.arrivals_corrupted;
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacCollision, id_, tx->src,
+                   tx->id, 0);
+  }
   arrivals_.emplace(tx.get(), ArrivalState{corrupt, decodable});
   ++active_arrivals_;
   WSN_AUDIT_CHECK(
@@ -285,6 +308,7 @@ void CsmaMac::deliver(const Transmission& tx) {
   }
   if (f.dst != id_ && f.dst != net::kBroadcast) return;  // overheard only
   if (f.dst == id_) send_ack(f.src);
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacRx, id_, f.src, tx.id, f.bytes);
   ++stats_.frames_delivered;
   if (user_ != nullptr) user_->mac_receive(f);
 }

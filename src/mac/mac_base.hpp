@@ -1,12 +1,14 @@
 // Abstract link layer: what the diffusion stack needs from a MAC.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 #include "mac/channel.hpp"
 #include "mac/energy.hpp"
 #include "net/types.hpp"
 #include "sim/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace wsn::mac {
 
@@ -84,6 +86,19 @@ class MacBase {
   virtual void arrival_end(const TransmissionPtr& tx) = 0;
 
  protected:
+  /// Radio-state transition with energy-sample tracing: accumulates the
+  /// meter exactly like a direct set_state call, and emits one trace
+  /// record per actual state change (not per refresh).
+  void set_radio_state(RadioState s) {
+    const RadioState prev = meter_.state();
+    meter_.set_state(sim_->now(), s);
+    if (s != prev) {
+      WSN_TRACE_EMIT(sim_, trace::RecordKind::kEnergySample, id_,
+                     trace::kNoPeer, static_cast<std::uint64_t>(s),
+                     std::bit_cast<std::uint64_t>(meter_.joules()));
+    }
+  }
+
   sim::Simulator* sim_;
   Channel* channel_;
   net::NodeId id_;

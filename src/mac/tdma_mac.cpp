@@ -20,6 +20,8 @@ void TdmaMac::send(net::Frame frame) {
   if (!alive_) return;
   if (queue_.size() >= params_.queue_limit) {
     ++stats_.drops_queue_full;
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacDrop, id_, frame.dst,
+                   trace::DropReason::kQueueFull, queue_.size());
     return;
   }
   frame.src = id_;
@@ -43,9 +45,9 @@ void TdmaMac::set_alive(bool alive) {
       sim_->cancel(tx_end_event_);
       tx_end_event_ = sim::EventHandle{};
     }
-    meter_.set_state(sim_->now(), RadioState::kOff);
+    set_radio_state(RadioState::kOff);
   } else {
-    meter_.set_state(sim_->now(), RadioState::kIdle);
+    set_radio_state(RadioState::kIdle);
     // Rejoin the schedule at our next slot boundary.
     const auto cycle = cycle_duration().as_nanos();
     const auto offset = (params_.slot_duration() * id_).as_nanos();
@@ -67,6 +69,8 @@ void TdmaMac::on_slot_start() {
   const sim::Time airtime = params_.payload_airtime(out.frame.bytes);
   outgoing_tx_ =
       channel_->begin_transmission(id_, out.frame, FrameKind::kData, airtime);
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacTxStart, id_, out.frame.dst,
+                 outgoing_tx_->id, out.frame.bytes);
   ++stats_.frames_sent;
   stats_.bytes_sent += out.frame.bytes;
   if (out.attempts > 0) ++stats_.retries;
@@ -77,6 +81,8 @@ void TdmaMac::on_slot_start() {
 void TdmaMac::on_tx_end() {
   tx_end_event_ = sim::EventHandle{};
   transmitting_ = false;
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacTxEnd, id_, trace::kNoPeer,
+                 outgoing_tx_ ? outgoing_tx_->id : 0, 0);
   outgoing_tx_.reset();
   update_radio_state();
 
@@ -99,6 +105,8 @@ void TdmaMac::on_tx_end() {
     Outgoing& head = queue_.front();
     if (++head.attempts > params_.max_retries) {
       ++stats_.drops_retry_exhausted;
+      WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacDrop, id_, head.frame.dst,
+                     trace::DropReason::kRetryExhausted, head.attempts);
       if (user_ != nullptr) user_->mac_send_failed(head.frame);
       queue_.pop_front();
     }
@@ -115,7 +123,7 @@ void TdmaMac::update_radio_state() {
   } else if (active_arrivals_ > 0) {
     s = RadioState::kRx;
   }
-  meter_.set_state(sim_->now(), s);
+  set_radio_state(s);
 }
 
 void TdmaMac::arrival_start(const TransmissionPtr& tx, bool decodable) {
@@ -125,6 +133,8 @@ void TdmaMac::arrival_start(const TransmissionPtr& tx, bool decodable) {
   const bool clean = !transmitting_ && active_arrivals_ == 0;
   if (!clean) {
     ++stats_.arrivals_corrupted;
+    WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacCollision, id_, tx->src,
+                   tx->id, 0);
     for (auto& [txp, ok] : arrivals_) ok = false;
   }
   arrivals_.emplace(tx.get(), decodable && clean);
@@ -166,11 +176,15 @@ void TdmaMac::deliver(const Transmission& tx) {
       ack.dst = to;
       ack.bytes = 0;
       const sim::Time airtime = params_.ack_airtime();
-      channel_->begin_transmission(id_, ack, FrameKind::kAck, airtime);
+      const TransmissionPtr ack_tx =
+          channel_->begin_transmission(id_, ack, FrameKind::kAck, airtime);
+      WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacTxStart, id_, to, ack_tx->id,
+                     0);
       ++stats_.acks_sent;
       tx_end_event_ = sim_->schedule_in(airtime, [this] { on_tx_end(); });
     });
   }
+  WSN_TRACE_EMIT(sim_, trace::RecordKind::kMacRx, id_, f.src, tx.id, f.bytes);
   ++stats_.frames_delivered;
   if (user_ != nullptr) user_->mac_receive(f);
 }

@@ -1,64 +1,55 @@
 #include "scenario/experiment.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "mac/channel.hpp"
 #include "mac/csma_mac.hpp"
 #include "mac/tdma_mac.hpp"
 #include "net/topology.hpp"
+#include "scenario/failure.hpp"
 #include "sim/simulator.hpp"
 #include "stats/accumulator.hpp"
+#include "stats/digest.hpp"
 #include "trees/models.hpp"
 
 namespace wsn::scenario {
 namespace {
 
-/// Drives the §5.3 failure process for the lifetime of a run.
-class FailureProcess {
- public:
-  FailureProcess(sim::Simulator& sim, std::vector<mac::MacBase*> macs,
-                 std::vector<char> protected_nodes, const FailureModel& model,
-                 sim::Rng rng)
-      : sim_{&sim},
-        macs_{std::move(macs)},
-        protected_{std::move(protected_nodes)},
-        model_{model},
-        rng_{rng} {
-    if (model_.enabled) schedule_next(model_.period);
-  }
-
- private:
-  void schedule_next(sim::Time in) {
-    sim_->schedule_in(in, [this] { rotate(); });
-  }
-
-  void rotate() {
-    for (net::NodeId id : down_) macs_[id]->set_alive(true);
-    down_.clear();
-
-    std::vector<net::NodeId> eligible;
-    for (net::NodeId id = 0; id < macs_.size(); ++id) {
-      if (!model_.protect_endpoints || !protected_[id]) eligible.push_back(id);
-    }
-    const auto victims = static_cast<std::size_t>(
-        model_.fraction * static_cast<double>(macs_.size()) + 0.5);
-    rng_.shuffle(eligible);
-    for (std::size_t i = 0; i < std::min(victims, eligible.size()); ++i) {
-      macs_[eligible[i]]->set_alive(false);
-      down_.push_back(eligible[i]);
-    }
-    schedule_next(model_.period);
-  }
-
-  sim::Simulator* sim_;
-  std::vector<mac::MacBase*> macs_;
-  std::vector<char> protected_;
-  FailureModel model_;
-  sim::Rng rng_;
-  std::vector<net::NodeId> down_;
-};
+void add_rect(stats::Digest& d, const net::Rect& r) {
+  d.add(r.x0);
+  d.add(r.y0);
+  d.add(r.x1);
+  d.add(r.y1);
+}
 
 }  // namespace
+
+std::uint64_t config_digest(const ExperimentConfig& config) {
+  // Workload-defining fields only: the seed is deliberately excluded (it is
+  // a separate trace-header word) and so is the trace spec itself — tracing
+  // a run must not change what the run *is*.
+  stats::Digest d;
+  d.add(config.field.side_m);
+  d.add(static_cast<std::uint64_t>(config.field.nodes));
+  d.add(config.field.radio_range_m);
+  d.add(config.field.carrier_sense_range_m);
+  d.add(static_cast<std::uint64_t>(config.algorithm));
+  d.add(static_cast<std::uint64_t>(config.mac_type));
+  d.add(static_cast<std::uint64_t>(config.num_sources));
+  d.add(static_cast<std::uint64_t>(config.num_sinks));
+  d.add(static_cast<std::uint64_t>(config.source_placement));
+  add_rect(d, config.source_rect);
+  add_rect(d, config.sink_rect);
+  d.add(static_cast<std::uint64_t>(config.interest_region.has_value()));
+  if (config.interest_region.has_value()) add_rect(d, *config.interest_region);
+  d.add(static_cast<std::uint64_t>(config.failures.enabled));
+  d.add(config.failures.fraction);
+  d.add(config.failures.period.as_nanos());
+  d.add(static_cast<std::uint64_t>(config.failures.protect_endpoints));
+  d.add(config.duration.as_nanos());
+  return d.value();
+}
 
 RunResult run_experiment(const ExperimentConfig& config) {
   // A workload needs at least one node per endpoint; degenerate configs
@@ -78,7 +69,23 @@ RunResult run_experiment(const ExperimentConfig& config) {
   const net::Topology topo{positions, config.field.radio_range_m,
                            config.field.carrier_sense_range_m};
 
+  // Tracing: the config's spec wins; an empty one falls back to the
+  // environment knobs. Declared before the simulator so the tracer outlives
+  // every emission (including any from queue teardown).
+  const trace::TraceSpec trace_spec =
+      config.trace.enabled() ? config.trace : trace::spec_from_env();
+  std::unique_ptr<trace::Tracer> tracer;
+  if (trace_spec.enabled()) {
+    tracer = std::make_unique<trace::Tracer>(trace::Tracer::Options{
+        .path = trace::resolve_trace_path(trace_spec.path, config.seed),
+        .ring_capacity = trace_spec.ring_capacity,
+        .seed = config.seed,
+        .config_digest = config_digest(config),
+    });
+  }
+
   sim::Simulator sim;
+  if (tracer != nullptr) sim.set_tracer(tracer.get());
   mac::Channel channel{sim, topo, config.phy.propagation};
 
   std::vector<std::unique_ptr<mac::MacBase>> macs;
@@ -194,6 +201,10 @@ RunResult run_experiment(const ExperimentConfig& config) {
     for (net::NodeId nb : n->data_gradient_neighbors()) {
       result.tree_edges.emplace_back(n->id(), nb);
     }
+  }
+  if (tracer != nullptr) {
+    result.trace_counters = tracer->counters();
+    tracer->flush();
   }
   result.average_degree = topo.average_degree();
   result.energy_max_node_joules = per_node_energy.max();

@@ -18,7 +18,9 @@
 #include "mac/params.hpp"
 #include "mac/tdma_mac.hpp"
 #include "net/field.hpp"
+#include "scenario/failure.hpp"
 #include "stats/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace wsn::scenario {
 
@@ -26,18 +28,6 @@ namespace wsn::scenario {
 enum class SourcePlacement {
   kCorner,  ///< random nodes inside the 80×80 m bottom-left corner
   kRandom,  ///< random nodes anywhere in the field
-};
-
-/// Node-failure model of §5.3: every `period`, revive the previous victims
-/// and turn off `fraction` of the remaining nodes — no settling time.
-struct FailureModel {
-  bool enabled = false;
-  double fraction = 0.2;
-  sim::Time period = sim::Time::seconds(30.0);
-  /// Sources and sinks are never turned off, so the workload itself
-  /// survives (reconstruction `[R]`; the paper does not state this but the
-  /// metrics are meaningless if the only sink dies).
-  bool protect_endpoints = true;
 };
 
 /// Which link layer the nodes run (paper §5.1 uses a modified 802.11;
@@ -70,7 +60,18 @@ struct ExperimentConfig {
 
   sim::Time duration = sim::Time::seconds(400.0);
   std::uint64_t seed = 1;
+
+  /// Structured event tracing (src/trace). Disabled by default; when left
+  /// disabled here, run_experiment falls back to the WSN_TRACE /
+  /// WSN_TRACE_RING environment knobs so any experiment binary can be
+  /// traced without a config change.
+  trace::TraceSpec trace;
 };
+
+/// Digest of the workload-defining config fields, written into trace
+/// headers so `trace_tool diff` can refuse to compare runs of different
+/// setups. Two configs with equal digests describe the same experiment.
+[[nodiscard]] std::uint64_t config_digest(const ExperimentConfig& config);
 
 /// Everything a run produces.
 struct RunResult {
@@ -114,6 +115,9 @@ struct RunResult {
   // Final data-gradient tree: one (node, downstream-neighbour) edge per
   // live data gradient at the end of the run.
   std::vector<std::pair<net::NodeId, net::NodeId>> tree_edges;
+
+  // Per-kind trace record tallies; all zero unless the run was traced.
+  trace::CounterTable trace_counters;
 };
 
 /// Builds, runs and tears down one experiment.

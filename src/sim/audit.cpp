@@ -13,6 +13,7 @@ namespace {
 std::atomic<std::uint64_t> g_checks{0};
 std::atomic<std::uint64_t> g_violations{0};
 std::atomic<bool> g_abort{true};
+std::atomic<void (*)()> g_violation_hook{nullptr};
 
 }  // namespace
 
@@ -26,6 +27,9 @@ void set_abort_on_violation(bool abort_on_violation) {
   g_abort.store(abort_on_violation, std::memory_order_relaxed);
 }
 void reset_violations() { g_violations.store(0, std::memory_order_relaxed); }
+void set_violation_hook(void (*hook)()) {
+  g_violation_hook.store(hook, std::memory_order_relaxed);
+}
 
 namespace detail {
 
@@ -34,6 +38,10 @@ void count_check() { g_checks.fetch_add(1, std::memory_order_relaxed); }
 void fail(const char* file, int line, const char* expr, const char* msg) {
   std::fprintf(stderr, "[wsn-audit] %s:%d: invariant violated: %s (%s)\n",
                file, line, expr, msg);
+  if (auto* hook = g_violation_hook.load(std::memory_order_relaxed);
+      hook != nullptr) {
+    hook();  // e.g. the trace subsystem's flight-recorder dump
+  }
   if (g_abort.load(std::memory_order_relaxed)) std::abort();
   g_violations.fetch_add(1, std::memory_order_relaxed);
 }

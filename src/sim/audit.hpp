@@ -23,6 +23,12 @@ void set_abort_on_violation(bool abort_on_violation);
 /// Resets the violation counter (counting mode tests only).
 void reset_violations();
 
+/// One process-wide hook invoked on every violation, after the diagnostic
+/// is printed and before the abort decision. The trace subsystem installs
+/// its flight-recorder dump here; nullptr clears. The hook must be safe to
+/// call from any replicate worker thread.
+void set_violation_hook(void (*hook)());
+
 namespace detail {
 void count_check();
 void fail(const char* file, int line, const char* expr, const char* msg);

@@ -1,6 +1,7 @@
 #include "sim/logger.hpp"
 
 #include <atomic>
+#include <cstdarg>
 #include <cstdlib>
 #include <cstring>
 
@@ -39,6 +40,23 @@ std::atomic<LogLevel> g_level{parse_level(std::getenv("WSN_LOG"))};
 LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
 void Logger::set_level(LogLevel lvl) {
   g_level.store(lvl, std::memory_order_relaxed);
+}
+
+void Logger::log(LogLevel lvl, Time now, std::string_view component,
+                 const char* fmt, ...) {
+  if (!enabled(lvl)) return;
+  char msg[512];
+  std::va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(msg, sizeof msg, fmt, args);
+  va_end(args);
+  if (n >= static_cast<int>(sizeof msg)) {
+    // Truncated: make it visible by ending the line with a "…" (UTF-8,
+    // 3 bytes) instead of cutting mid-word without a trace.
+    constexpr char kMark[] = "\xe2\x80\xa6";  // 4 bytes with the NUL
+    std::memcpy(msg + sizeof msg - sizeof kMark, kMark, sizeof kMark);
+  }
+  emit(lvl, now, component, msg);
 }
 
 void Logger::emit(LogLevel lvl, Time now, std::string_view component,

@@ -7,6 +7,16 @@
 
 #include "sim/time.hpp"
 
+// Marks a function as printf-like so -Wformat diagnoses argument/format
+// mismatches at every call site. Indices are 1-based positions of the
+// format string and the first variadic argument.
+#if defined(__GNUC__) || defined(__clang__)
+#define WSN_PRINTF_FORMAT(fmt_idx, args_idx) \
+  __attribute__((format(printf, fmt_idx, args_idx)))
+#else
+#define WSN_PRINTF_FORMAT(fmt_idx, args_idx)
+#endif
+
 namespace wsn::sim {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
@@ -26,19 +36,12 @@ class Logger {
 
   static bool enabled(LogLevel lvl) { return lvl >= level(); }
 
-  /// printf-style logging: `Logger::log(LogLevel::kDebug, now, "mac", "...", ...)`.
-  template <typename... Args>
+  /// printf-style logging: `Logger::log(LogLevel::kDebug, now, "mac", "...",
+  /// ...)`. The format attribute makes -Wformat check every call site.
+  /// Messages beyond the 512-byte line buffer are truncated with a visible
+  /// `…` marker instead of being silently cut.
   static void log(LogLevel lvl, Time now, std::string_view component,
-                  const char* fmt, Args&&... args) {
-    if (!enabled(lvl)) return;
-    char msg[512];
-    if constexpr (sizeof...(Args) == 0) {
-      std::snprintf(msg, sizeof msg, "%s", fmt);
-    } else {
-      std::snprintf(msg, sizeof msg, fmt, std::forward<Args>(args)...);
-    }
-    emit(lvl, now, component, msg);
-  }
+                  const char* fmt, ...) WSN_PRINTF_FORMAT(4, 5);
 
  private:
   static void emit(LogLevel lvl, Time now, std::string_view component,

@@ -8,6 +8,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
+namespace wsn::trace {
+class Tracer;
+}
+
 namespace wsn::sim {
 
 /// Single-threaded discrete-event simulator.
@@ -59,6 +63,14 @@ class Simulator {
   /// here so a steady-state protocol cycle never touches the global heap.
   [[nodiscard]] RecyclingArena& arena() { return arena_; }
 
+  /// Structured event tracer, or nullptr (the default: tracing off). The
+  /// tracer is owned by the caller and must outlive the simulator. All
+  /// emission goes through WSN_TRACE_EMIT (trace/trace.hpp), which reduces
+  /// to one load + branch on this pointer when tracing is off.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  // lint:trace-ok — the accessor WSN_TRACE_EMIT itself reads
+  [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
+
  private:
   // Declared before the event queue: pending closures capture pooled
   // shared_ptrs, so the arena must outlive the queue's destructor.
@@ -67,6 +79,7 @@ class Simulator {
   Time now_ = Time::zero();
   std::uint64_t dispatched_ = 0;
   bool stopped_ = false;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace wsn::sim

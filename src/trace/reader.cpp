@@ -1,0 +1,127 @@
+#include "trace/reader.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace wsn::trace {
+namespace {
+
+constexpr char kMagic[8] = {'W', 'S', 'N', 'T', 'R', 'C', '0', '1'};
+constexpr std::size_t kHeaderBytes = sizeof kMagic + 8 + 8;
+
+std::uint64_t read_u64_le(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace
+
+TraceReader::TraceReader(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    error_ = "cannot open " + path;
+    return;
+  }
+  unsigned char chunk[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    data_.insert(data_.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+  if (data_.size() < kHeaderBytes ||
+      std::memcmp(data_.data(), kMagic, sizeof kMagic) != 0) {
+    error_ = path + ": not a WSNTRC01 trace";
+    return;
+  }
+  header_.seed = read_u64_le(data_.data() + sizeof kMagic);
+  header_.config_digest = read_u64_le(data_.data() + sizeof kMagic + 8);
+  pos_ = kHeaderBytes;
+}
+
+bool TraceReader::read_varint(std::uint64_t& v) {
+  v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= data_.size()) return false;
+    const unsigned char byte = data_[pos_++];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;  // over-long varint
+}
+
+bool TraceReader::next(Record& out) {
+  if (!ok() || pos_ >= data_.size()) return false;
+  const std::size_t record_start = pos_;
+  std::uint64_t kind = 0;
+  std::uint64_t dt = 0;
+  std::uint64_t node = 0;
+  std::uint64_t peer = 0;
+  if (!read_varint(kind) || !read_varint(dt) || !read_varint(node) ||
+      !read_varint(peer) || !read_varint(out.a) || !read_varint(out.b)) {
+    char msg[96];
+    std::snprintf(msg, sizeof msg,
+                  "truncated record %llu at byte offset %zu",
+                  static_cast<unsigned long long>(records_read_), record_start);
+    error_ = msg;
+    return false;
+  }
+  if (kind >= kRecordKindCount) {
+    char msg[96];
+    std::snprintf(msg, sizeof msg, "unknown record kind %llu in record %llu",
+                  static_cast<unsigned long long>(kind),
+                  static_cast<unsigned long long>(records_read_));
+    error_ = msg;
+    return false;
+  }
+  out.kind = static_cast<RecordKind>(kind);
+  last_t_ns_ += unzigzag(dt);
+  out.t_ns = last_t_ns_;
+  out.node = static_cast<std::uint32_t>(node);
+  out.peer = static_cast<std::uint32_t>(peer);
+  ++records_read_;
+  return true;
+}
+
+TraceDiff diff_traces(const std::string& path_a, const std::string& path_b) {
+  TraceDiff diff;
+  TraceReader a{path_a};
+  TraceReader b{path_b};
+  if (!a.ok() || !b.ok()) {
+    diff.error = !a.ok() ? a.error() : b.error();
+    return diff;
+  }
+  diff.comparable = true;
+  diff.header_differs = a.header().seed != b.header().seed ||
+                        a.header().config_digest != b.header().config_digest;
+  std::uint64_t index = 0;
+  for (;; ++index) {
+    Record ra;
+    Record rb;
+    const bool got_a = a.next(ra);
+    const bool got_b = b.next(rb);
+    if (!a.ok() || !b.ok()) {
+      diff.comparable = false;
+      diff.error = !a.ok() ? a.error() : b.error();
+      return diff;
+    }
+    if (!got_a && !got_b) break;  // both exhausted
+    if (!got_a || !got_b || !(ra == rb)) {
+      diff.first_diff_index = index;
+      diff.has_a = got_a;
+      diff.has_b = got_b;
+      if (got_a) diff.a = ra;
+      if (got_b) diff.b = rb;
+      return diff;
+    }
+  }
+  diff.identical = !diff.header_differs;
+  if (diff.header_differs) diff.first_diff_index = 0;
+  return diff;
+}
+
+}  // namespace wsn::trace

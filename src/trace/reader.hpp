@@ -1,0 +1,67 @@
+// Binary trace reader + same-seed trace comparison (library behind
+// tools/trace_tool and the trace tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/records.hpp"
+
+namespace wsn::trace {
+
+/// Decoded trace-file header (written by Tracer's file sink).
+struct TraceHeader {
+  std::uint64_t seed = 0;
+  std::uint64_t config_digest = 0;
+};
+
+/// Streams records out of one binary trace file. The file is loaded whole
+/// at construction; check `ok()` before iterating.
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] const TraceHeader& header() const { return header_; }
+
+  /// Decodes the next record into `out`. Returns false at end of trace;
+  /// a truncated or corrupt record also returns false and sets `error()`.
+  bool next(Record& out);
+
+  [[nodiscard]] std::uint64_t records_read() const { return records_read_; }
+
+ private:
+  bool read_varint(std::uint64_t& v);
+
+  std::vector<unsigned char> data_;
+  std::size_t pos_ = 0;
+  TraceHeader header_;
+  std::int64_t last_t_ns_ = 0;
+  std::uint64_t records_read_ = 0;
+  std::string error_;
+};
+
+/// Outcome of comparing two same-seed traces record by record. The record
+/// encoding is canonical (same records ⇔ same bytes), so record-wise
+/// equality plus equal record counts is byte-exactness.
+struct TraceDiff {
+  bool comparable = false;  ///< both files opened and parsed
+  bool identical = false;
+  bool header_differs = false;
+  /// Index of the first divergent record (or of the first record present
+  /// in only one trace when one is a prefix of the other).
+  std::uint64_t first_diff_index = 0;
+  bool has_a = false;  ///< trace A still had a record at the divergence
+  bool has_b = false;
+  Record a;
+  Record b;
+  std::string error;  ///< set when !comparable
+};
+
+/// Compares two binary traces; prints nothing (callers format the result).
+[[nodiscard]] TraceDiff diff_traces(const std::string& path_a,
+                                    const std::string& path_b);
+
+}  // namespace wsn::trace

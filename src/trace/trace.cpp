@@ -1,0 +1,274 @@
+#include "trace/trace.hpp"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "sim/audit.hpp"
+
+namespace wsn::trace {
+namespace {
+
+// 8-byte magic; the trailing two digits are the format version.
+constexpr char kMagic[8] = {'W', 'S', 'N', 'T', 'R', 'C', '0', '1'};
+constexpr std::size_t kFlushThreshold = 60 * 1024;
+
+// --- flight-recorder registry -------------------------------------------
+//
+// Tracers with a ring register here so an audit violation anywhere in the
+// process can dump every live ring. The registry mutex guards membership
+// only; a dump racing a concurrent emit on another worker thread may read
+// a half-written record — acceptable for a best-effort crash artefact.
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::vector<Tracer*>& registry() {
+  static std::vector<Tracer*> tracers;
+  return tracers;
+}
+std::atomic<std::FILE*> g_dump_stream{nullptr};
+
+void ring_dump_hook() {
+  std::FILE* out = g_dump_stream.load(std::memory_order_relaxed);
+  Tracer::dump_all_rings(out != nullptr ? out : stderr);
+}
+
+void append_varint(std::vector<unsigned char>& buf, std::uint64_t v) {
+  while (v >= 0x80) {
+    buf.push_back(static_cast<unsigned char>(v) | 0x80);
+    v >>= 7;
+  }
+  buf.push_back(static_cast<unsigned char>(v));
+}
+
+// Time deltas are non-negative on the monotone event clock, but zigzag
+// keeps the format robust if an emission site ever runs off-clock.
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+void append_u64_le(std::vector<unsigned char>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+const char* kind_name(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kMacTxStart: return "mac.tx_start";
+    case RecordKind::kMacTxEnd: return "mac.tx_end";
+    case RecordKind::kMacRx: return "mac.rx";
+    case RecordKind::kMacCollision: return "mac.collision";
+    case RecordKind::kMacDrop: return "mac.drop";
+    case RecordKind::kMacBackoff: return "mac.backoff";
+    case RecordKind::kChannelSweep: return "channel.sweep";
+    case RecordKind::kInterestSend: return "diffusion.interest_send";
+    case RecordKind::kInterestRecv: return "diffusion.interest_recv";
+    case RecordKind::kExploratorySend: return "diffusion.exploratory_send";
+    case RecordKind::kExploratoryRecv: return "diffusion.exploratory_recv";
+    case RecordKind::kDataSend: return "diffusion.data_send";
+    case RecordKind::kDataRecv: return "diffusion.data_recv";
+    case RecordKind::kIcmSend: return "diffusion.icm_send";
+    case RecordKind::kIcmRecv: return "diffusion.icm_recv";
+    case RecordKind::kReinforceSend: return "diffusion.reinforce_send";
+    case RecordKind::kReinforceRecv: return "diffusion.reinforce_recv";
+    case RecordKind::kNegativeSend: return "diffusion.negative_send";
+    case RecordKind::kNegativeRecv: return "diffusion.negative_recv";
+    case RecordKind::kCacheHit: return "cache.hit";
+    case RecordKind::kCachePurge: return "cache.purge";
+    case RecordKind::kGradientNew: return "gradient.new";
+    case RecordKind::kTreeChange: return "gradient.tree_change";
+    case RecordKind::kItemGenerated: return "item.generated";
+    case RecordKind::kItemForward: return "item.forward";
+    case RecordKind::kItemDelivered: return "item.delivered";
+    case RecordKind::kEnergySample: return "energy.sample";
+    case RecordKind::kNodeDown: return "failure.node_down";
+    case RecordKind::kNodeUp: return "failure.node_up";
+    case RecordKind::kCount: break;
+  }
+  return "?";
+}
+
+const char* kind_component(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kMacTxStart:
+    case RecordKind::kMacTxEnd:
+    case RecordKind::kMacRx:
+    case RecordKind::kMacCollision:
+    case RecordKind::kMacDrop:
+    case RecordKind::kMacBackoff: return "mac";
+    case RecordKind::kChannelSweep: return "channel";
+    case RecordKind::kInterestSend:
+    case RecordKind::kInterestRecv:
+    case RecordKind::kExploratorySend:
+    case RecordKind::kExploratoryRecv:
+    case RecordKind::kDataSend:
+    case RecordKind::kDataRecv:
+    case RecordKind::kIcmSend:
+    case RecordKind::kIcmRecv:
+    case RecordKind::kReinforceSend:
+    case RecordKind::kReinforceRecv:
+    case RecordKind::kNegativeSend:
+    case RecordKind::kNegativeRecv: return "diffusion";
+    case RecordKind::kCacheHit:
+    case RecordKind::kCachePurge: return "cache";
+    case RecordKind::kGradientNew:
+    case RecordKind::kTreeChange: return "gradient";
+    case RecordKind::kItemGenerated:
+    case RecordKind::kItemForward:
+    case RecordKind::kItemDelivered: return "item";
+    case RecordKind::kEnergySample: return "energy";
+    case RecordKind::kNodeDown:
+    case RecordKind::kNodeUp: return "failure";
+    case RecordKind::kCount: break;
+  }
+  return "?";
+}
+
+TraceSpec spec_from_env() {
+  TraceSpec spec;
+  if (const char* path = std::getenv("WSN_TRACE"); path != nullptr) {
+    spec.path = path;
+  }
+  if (const char* ring = std::getenv("WSN_TRACE_RING"); ring != nullptr) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(ring, &end, 10);
+    if (end == ring || *end != '\0' || v > 100'000'000ULL) {
+      std::fprintf(stderr,
+                   "[wsn-trace] WSN_TRACE_RING=\"%s\" is not a record count "
+                   "in [0, 1e8]; flight recorder disabled\n",
+                   ring);
+    } else {
+      spec.ring_capacity = static_cast<std::size_t>(v);
+    }
+  }
+  return spec;
+}
+
+std::string resolve_trace_path(const std::string& path_template,
+                               std::uint64_t seed) {
+  if (path_template.empty()) return {};
+  char seed_str[24];
+  std::snprintf(seed_str, sizeof seed_str, "%" PRIu64, seed);
+  std::string out = path_template;
+  bool substituted = false;
+  for (std::size_t pos = out.find("{seed}"); pos != std::string::npos;
+       pos = out.find("{seed}", pos)) {
+    out.replace(pos, 6, seed_str);
+    pos += std::strlen(seed_str);
+    substituted = true;
+  }
+  // Without a placeholder, suffix the seed so parallel replicates of the
+  // same template never collide on one file.
+  if (!substituted) out += std::string(".s") + seed_str;
+  return out;
+}
+
+Tracer::Tracer(const Options& options)
+    : ring_capacity_{options.ring_capacity}, seed_{options.seed} {
+  if (ring_capacity_ > 0) {
+    ring_.reserve(ring_capacity_);
+    sim::audit::set_violation_hook(&ring_dump_hook);
+    std::lock_guard<std::mutex> lock{registry_mutex()};
+    registry().push_back(this);
+  }
+  if (!options.path.empty()) {
+    file_ = std::fopen(options.path.c_str(), "wb");
+    if (file_ == nullptr) {
+      error_ = "cannot open trace file: " + options.path;
+      std::fprintf(stderr, "[wsn-trace] %s\n", error_.c_str());
+    } else {
+      buf_.reserve(kFlushThreshold + 64);
+      buf_.insert(buf_.end(), kMagic, kMagic + sizeof kMagic);
+      append_u64_le(buf_, options.seed);
+      append_u64_le(buf_, options.config_digest);
+    }
+  }
+}
+
+Tracer::~Tracer() {
+  flush();
+  if (file_ != nullptr) std::fclose(file_);
+  if (ring_capacity_ > 0) {
+    std::lock_guard<std::mutex> lock{registry_mutex()};
+    auto& tracers = registry();
+    std::erase(tracers, this);
+  }
+}
+
+void Tracer::emit(RecordKind kind, sim::Time t, std::uint32_t node,
+                  std::uint32_t peer, std::uint64_t a, std::uint64_t b) {
+  const Record r{t.as_nanos(), kind, node, peer, a, b};
+  ++counters_.counts[static_cast<std::size_t>(kind)];
+  if (ring_capacity_ > 0) {
+    if (ring_.size() < ring_capacity_) {
+      ring_.push_back(r);
+    } else {
+      ring_[ring_next_] = r;
+    }
+    ring_next_ = (ring_next_ + 1) % ring_capacity_;
+    ++ring_seen_;
+  }
+  if (file_ != nullptr) encode(r);
+}
+
+void Tracer::encode(const Record& r) {
+  append_varint(buf_, static_cast<std::uint64_t>(r.kind));
+  append_varint(buf_, zigzag(r.t_ns - last_t_ns_));
+  last_t_ns_ = r.t_ns;
+  append_varint(buf_, r.node);
+  append_varint(buf_, r.peer);
+  append_varint(buf_, r.a);
+  append_varint(buf_, r.b);
+  if (buf_.size() >= kFlushThreshold) flush();
+}
+
+void Tracer::flush() {
+  if (file_ == nullptr || buf_.empty()) return;
+  std::fwrite(buf_.data(), 1, buf_.size(), file_);
+  buf_.clear();  // capacity retained
+}
+
+std::vector<Record> Tracer::ring_snapshot() const {
+  std::vector<Record> out;
+  if (ring_.empty()) return out;
+  out.reserve(ring_.size());
+  // Oldest first: when the ring has wrapped, ring_next_ points at the
+  // oldest live record.
+  const std::size_t start = ring_.size() < ring_capacity_ ? 0 : ring_next_;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::dump_all_rings(std::FILE* out) {
+  std::lock_guard<std::mutex> lock{registry_mutex()};
+  for (const Tracer* t : registry()) {
+    const std::vector<Record> records = t->ring_snapshot();
+    std::fprintf(out,
+                 "[wsn-trace] flight recorder (seed %" PRIu64 "): last %zu of "
+                 "%" PRIu64 " records\n",
+                 t->seed_, records.size(), t->ring_seen_);
+    for (const Record& r : records) {
+      std::fprintf(out,
+                   "[wsn-trace]   t=%.9fs %-26s node=%" PRIu32 " peer=%" PRIu32
+                   " a=%" PRIu64 " b=%" PRIu64 "\n",
+                   static_cast<double>(r.t_ns) * 1e-9, kind_name(r.kind),
+                   r.node, r.peer, r.a, r.b);
+    }
+  }
+  std::fflush(out);
+}
+
+void set_ring_dump_stream(std::FILE* out) {
+  g_dump_stream.store(out, std::memory_order_relaxed);
+}
+
+}  // namespace wsn::trace

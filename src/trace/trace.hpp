@@ -1,0 +1,115 @@
+// Per-simulator structured event tracer: binary file sink + flight ring.
+//
+// One `Tracer` serves one `sim::Simulator` (attach with
+// `Simulator::set_tracer`). Emission goes through the WSN_TRACE_EMIT macro,
+// which compiles to a single pointer load + branch when no tracer is
+// attached — the traced-off hot path stays inside the PR 3/4
+// zero-allocation envelope. With a tracer attached, records are counted,
+// appended to the bounded in-memory ring (the flight recorder, dumped
+// automatically when a WSN_AUDIT invariant fires) and varint-encoded into
+// the binary file sink (format: DESIGN.md §11).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "trace/records.hpp"
+
+namespace wsn::trace {
+
+/// What to trace. `ExperimentConfig` carries one of these; `spec_from_env`
+/// reads the WSN_TRACE / WSN_TRACE_RING environment knobs.
+struct TraceSpec {
+  /// Binary trace file path; empty disables the file sink. A literal
+  /// `{seed}` is replaced with the run's seed; without one, `.s<seed>` is
+  /// appended so parallel replicates never write the same file.
+  std::string path;
+  /// Flight-recorder capacity in records; 0 disables the ring.
+  std::size_t ring_capacity = 0;
+
+  [[nodiscard]] bool enabled() const {
+    return !path.empty() || ring_capacity > 0;
+  }
+};
+
+/// WSN_TRACE=<path template>, WSN_TRACE_RING=<records>. Unset → disabled;
+/// a malformed ring size warns on stderr and counts as unset.
+[[nodiscard]] TraceSpec spec_from_env();
+
+/// Expands a TraceSpec path template for one seed (see TraceSpec::path).
+[[nodiscard]] std::string resolve_trace_path(const std::string& path_template,
+                                             std::uint64_t seed);
+
+class Tracer {
+ public:
+  struct Options {
+    std::string path;               ///< resolved file path; "" = no file sink
+    std::size_t ring_capacity = 0;  ///< 0 = no flight recorder
+    std::uint64_t seed = 0;         ///< written into the trace header
+    std::uint64_t config_digest = 0;
+  };
+
+  explicit Tracer(const Options& options);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Appends one record (hot path when tracing is on). Prefer the
+  /// WSN_TRACE_EMIT macro over calling this directly: the macro carries the
+  /// traced-off guard, and tools/lint.py R6 flags direct sink calls.
+  void emit(RecordKind kind, sim::Time t, std::uint32_t node,
+            std::uint32_t peer, std::uint64_t a, std::uint64_t b);
+
+  /// Flushes the encoder buffer to the file sink (no-op without one).
+  void flush();
+
+  [[nodiscard]] const CounterTable& counters() const { return counters_; }
+  [[nodiscard]] bool file_open() const { return file_ != nullptr; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// The ring's live contents, oldest first.
+  [[nodiscard]] std::vector<Record> ring_snapshot() const;
+
+  /// Writes every live tracer's ring to `out` (flight-recorder dump). The
+  /// WSN_AUDIT violation hook calls this with the configured dump stream.
+  static void dump_all_rings(std::FILE* out);
+
+ private:
+  void encode(const Record& r);
+
+  CounterTable counters_;
+  // Flight ring: preallocated, overwritten circularly.
+  std::vector<Record> ring_;
+  std::size_t ring_capacity_ = 0;
+  std::size_t ring_next_ = 0;
+  std::uint64_t ring_seen_ = 0;
+  // File sink: varint encoder buffer + time-delta state.
+  std::FILE* file_ = nullptr;
+  std::vector<unsigned char> buf_;
+  std::int64_t last_t_ns_ = 0;
+  std::uint64_t seed_ = 0;
+  std::string error_;
+};
+
+/// Redirects flight-recorder dumps (default stderr; tests point this at a
+/// tmpfile). nullptr restores the default.
+void set_ring_dump_stream(std::FILE* out);
+
+}  // namespace wsn::trace
+
+// WSN_TRACE_EMIT(sim, kind, node, peer, a, b): emit one trace record at the
+// simulator's current time. `sim` is a `sim::Simulator*`; with no tracer
+// attached this is one pointer load + branch and the operand expressions
+// are never evaluated.
+#define WSN_TRACE_EMIT(sim, kind, node, peer, a, b)                          \
+  do {                                                                       \
+    ::wsn::trace::Tracer* wsn_trace_t_ = (sim)->tracer();                    \
+    if (wsn_trace_t_ != nullptr) {                                           \
+      wsn_trace_t_->emit((kind), (sim)->now(), (node), (peer),               \
+                         static_cast<std::uint64_t>(a),                      \
+                         static_cast<std::uint64_t>(b));                     \
+    }                                                                        \
+  } while (false)

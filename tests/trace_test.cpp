@@ -1,0 +1,307 @@
+// Tests for the src/trace subsystem: binary round-trip, the flight ring,
+// reader/diff semantics, experiment wiring, parallel-vs-serial
+// bit-identity and the audit-triggered flight-recorder dump.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "scenario/sweep.hpp"
+#include "sim/audit.hpp"
+#include "sim/time.hpp"
+#include "trace/reader.hpp"
+#include "trace/trace.hpp"
+
+namespace wsn::trace {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+Record rec(std::int64_t t_ns, RecordKind kind, std::uint32_t node,
+           std::uint32_t peer, std::uint64_t a, std::uint64_t b) {
+  return Record{t_ns, kind, node, peer, a, b};
+}
+
+TEST(Trace, BinaryRoundTripPreservesHeaderAndRecords) {
+  const std::string path = tmp_path("wsn_trace_roundtrip.bin");
+  const std::vector<Record> written = {
+      rec(0, RecordKind::kMacTxStart, 3, 7, 101, 24),
+      rec(0, RecordKind::kChannelSweep, 3, kNoPeer, 101, 5),
+      rec(1'000'000'000, RecordKind::kMacRx, 7, 3, 101, 24),
+      // Out-of-order time exercises the zigzag delta path.
+      rec(999'999'000, RecordKind::kCacheHit, 7, 3, 0xffffffffffffULL,
+          0x8000000000000000ULL),
+      rec(999'999'000, RecordKind::kNodeDown, 12, kNoPeer, 0, 0),
+  };
+  {
+    Tracer tracer{Tracer::Options{
+        .path = path, .ring_capacity = 0, .seed = 42, .config_digest = 0xabc}};
+    ASSERT_TRUE(tracer.file_open()) << tracer.error();
+    for (const Record& r : written) {
+      tracer.emit(r.kind, sim::Time::nanos(r.t_ns), r.node, r.peer, r.a, r.b);
+    }
+    EXPECT_EQ(tracer.counters().total(), written.size());
+    EXPECT_EQ(tracer.counters().of(RecordKind::kMacTxStart), 1u);
+  }  // destructor flushes and closes
+
+  TraceReader reader{path};
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.header().seed, 42u);
+  EXPECT_EQ(reader.header().config_digest, 0xabcu);
+  std::vector<Record> read;
+  Record r;
+  while (reader.next(r)) read.push_back(r);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(read, written);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ReaderRejectsTruncatedFile) {
+  const std::string path = tmp_path("wsn_trace_trunc.bin");
+  {
+    Tracer tracer{Tracer::Options{
+        .path = path, .ring_capacity = 0, .seed = 1, .config_digest = 2}};
+    for (int i = 0; i < 50; ++i) {
+      tracer.emit(RecordKind::kMacBackoff, sim::Time::nanos(i * 1000), 1,
+                  kNoPeer, 7, 31);
+    }
+  }
+  // Chop the file mid-record.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(size, 30);
+  ASSERT_EQ(::truncate(path.c_str(), size - 3), 0);
+
+  TraceReader reader{path};
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  Record r;
+  while (reader.next(r)) {
+  }
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("truncated"), std::string::npos)
+      << reader.error();
+  std::remove(path.c_str());
+}
+
+TEST(Trace, RingKeepsTheLastNRecordsOldestFirst) {
+  Tracer tracer{Tracer::Options{
+      .path = "", .ring_capacity = 4, .seed = 9, .config_digest = 0}};
+  EXPECT_FALSE(tracer.file_open());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tracer.emit(RecordKind::kMacTxStart, sim::Time::nanos(i), 1, 2, i, 0);
+  }
+  const std::vector<Record> snap = tracer.ring_snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap[i].a, 6 + i);  // records 6..9 survive, oldest first
+  }
+  EXPECT_EQ(tracer.counters().total(), 10u);
+}
+
+TEST(Trace, ResolveTracePathSubstitutesOrSuffixesTheSeed) {
+  EXPECT_EQ(resolve_trace_path("/tmp/t-{seed}.bin", 17), "/tmp/t-17.bin");
+  EXPECT_EQ(resolve_trace_path("/tmp/{seed}/{seed}.bin", 3), "/tmp/3/3.bin");
+  EXPECT_EQ(resolve_trace_path("/tmp/t.bin", 17), "/tmp/t.bin.s17");
+  EXPECT_EQ(resolve_trace_path("", 17), "");
+}
+
+TEST(Trace, SpecFromEnvReadsAndValidatesTheKnobs) {
+  ::setenv("WSN_TRACE", "/tmp/env-trace.bin", 1);
+  ::setenv("WSN_TRACE_RING", "4096", 1);
+  TraceSpec spec = spec_from_env();
+  EXPECT_EQ(spec.path, "/tmp/env-trace.bin");
+  EXPECT_EQ(spec.ring_capacity, 4096u);
+  EXPECT_TRUE(spec.enabled());
+
+  ::setenv("WSN_TRACE_RING", "lots", 1);  // malformed: warn and disable
+  spec = spec_from_env();
+  EXPECT_EQ(spec.ring_capacity, 0u);
+
+  ::unsetenv("WSN_TRACE");
+  ::unsetenv("WSN_TRACE_RING");
+  EXPECT_FALSE(spec_from_env().enabled());
+}
+
+TEST(Trace, DiffReportsTheFirstDivergentRecord) {
+  const std::string pa = tmp_path("wsn_trace_diff_a.bin");
+  const std::string pb = tmp_path("wsn_trace_diff_b.bin");
+  {
+    Tracer a{Tracer::Options{
+        .path = pa, .ring_capacity = 0, .seed = 5, .config_digest = 9}};
+    Tracer b{Tracer::Options{
+        .path = pb, .ring_capacity = 0, .seed = 5, .config_digest = 9}};
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      a.emit(RecordKind::kMacRx, sim::Time::nanos(i * 10), 1, 2, i, 0);
+      // Injected divergence: record index 3 carries a different payload.
+      b.emit(RecordKind::kMacRx, sim::Time::nanos(i * 10), 1, 2,
+             i == 3 ? 99 : i, 0);
+    }
+  }
+  const TraceDiff diff = diff_traces(pa, pb);
+  ASSERT_TRUE(diff.comparable) << diff.error;
+  EXPECT_FALSE(diff.identical);
+  EXPECT_FALSE(diff.header_differs);
+  EXPECT_EQ(diff.first_diff_index, 3u);
+  ASSERT_TRUE(diff.has_a);
+  ASSERT_TRUE(diff.has_b);
+  EXPECT_EQ(diff.a.a, 3u);
+  EXPECT_EQ(diff.b.a, 99u);
+
+  const TraceDiff same = diff_traces(pa, pa);
+  ASSERT_TRUE(same.comparable);
+  EXPECT_TRUE(same.identical);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+TEST(Trace, DiffFlagsPrefixTracesAndHeaderMismatches) {
+  const std::string pa = tmp_path("wsn_trace_pfx_a.bin");
+  const std::string pb = tmp_path("wsn_trace_pfx_b.bin");
+  {
+    Tracer a{Tracer::Options{
+        .path = pa, .ring_capacity = 0, .seed = 5, .config_digest = 9}};
+    Tracer b{Tracer::Options{
+        .path = pb, .ring_capacity = 0, .seed = 6, .config_digest = 9}};
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      a.emit(RecordKind::kMacRx, sim::Time::nanos(i), 1, 2, i, 0);
+      if (i < 2) b.emit(RecordKind::kMacRx, sim::Time::nanos(i), 1, 2, i, 0);
+    }
+  }
+  const TraceDiff diff = diff_traces(pa, pb);
+  ASSERT_TRUE(diff.comparable) << diff.error;
+  EXPECT_FALSE(diff.identical);
+  EXPECT_TRUE(diff.header_differs);  // seeds 5 vs 6
+  EXPECT_EQ(diff.first_diff_index, 2u);  // B ends two records early
+  EXPECT_TRUE(diff.has_a);
+  EXPECT_FALSE(diff.has_b);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+scenario::ExperimentConfig traced_config(std::uint64_t seed) {
+  scenario::ExperimentConfig cfg;
+  cfg.field.nodes = 50;
+  cfg.algorithm = core::Algorithm::kGreedy;
+  cfg.duration = sim::Time::seconds(30.0);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Trace, ExperimentWiringPopulatesFileAndCounters) {
+  auto cfg = traced_config(5);
+  cfg.trace.path = tmp_path("wsn_trace_exp-{seed}.bin");
+  const scenario::RunResult res = scenario::run_experiment(cfg);
+  EXPECT_GT(res.trace_counters.total(), 0u);
+  EXPECT_GT(res.trace_counters.of(RecordKind::kMacTxStart), 0u);
+  EXPECT_GT(res.trace_counters.of(RecordKind::kItemDelivered), 0u);
+  EXPECT_GT(res.trace_counters.of(RecordKind::kGradientNew), 0u);
+
+  const std::string path = resolve_trace_path(cfg.trace.path, cfg.seed);
+  TraceReader reader{path};
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.header().seed, cfg.seed);
+  EXPECT_EQ(reader.header().config_digest, scenario::config_digest(cfg));
+
+  // The file holds exactly the records the counters tallied.
+  CounterTable from_file;
+  Record r;
+  std::int64_t last_t = 0;
+  while (reader.next(r)) {
+    ++from_file.counts[static_cast<std::size_t>(r.kind)];
+    EXPECT_GE(r.t_ns, last_t);  // the event clock is monotone
+    last_t = r.t_ns;
+  }
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(from_file.counts, res.trace_counters.counts);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, UntracedRunsKeepCountersAtZero) {
+  const scenario::RunResult res = scenario::run_experiment(traced_config(5));
+  EXPECT_EQ(res.trace_counters.total(), 0u);
+}
+
+TEST(Trace, SameSeedRunsProduceBitIdenticalTraces) {
+  auto cfg = traced_config(8);
+  cfg.trace.path = tmp_path("wsn_trace_rep_a-{seed}.bin");
+  scenario::run_experiment(cfg);
+  const std::string pa = resolve_trace_path(cfg.trace.path, cfg.seed);
+  cfg.trace.path = tmp_path("wsn_trace_rep_b-{seed}.bin");
+  scenario::run_experiment(cfg);
+  const std::string pb = resolve_trace_path(cfg.trace.path, cfg.seed);
+
+  const TraceDiff diff = diff_traces(pa, pb);
+  ASSERT_TRUE(diff.comparable) << diff.error;
+  EXPECT_TRUE(diff.identical);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+TEST(Trace, ParallelReplicatesTraceBitIdenticalToSerial) {
+  // Three replicates, traced per seed via the {seed} placeholder: the
+  // WSN_JOBS=4 engine must write byte-identical trace files to the serial
+  // loop, seed by seed.
+  auto cfg = traced_config(0);  // seed overridden per replicate
+  cfg.duration = sim::Time::seconds(20.0);
+  cfg.trace.path = tmp_path("wsn_trace_ser-{seed}.bin");
+  scenario::run_replicates(cfg, 3, /*seed0=*/11, /*jobs=*/1);
+  cfg.trace.path = tmp_path("wsn_trace_par-{seed}.bin");
+  scenario::run_replicates(cfg, 3, /*seed0=*/11, /*jobs=*/4);
+
+  for (std::uint64_t seed = 11; seed < 14; ++seed) {
+    const std::string ps =
+        resolve_trace_path(tmp_path("wsn_trace_ser-{seed}.bin"), seed);
+    const std::string pp =
+        resolve_trace_path(tmp_path("wsn_trace_par-{seed}.bin"), seed);
+    const TraceDiff diff = diff_traces(ps, pp);
+    ASSERT_TRUE(diff.comparable) << diff.error;
+    EXPECT_TRUE(diff.identical) << "seed " << seed << " diverges at record "
+                                << diff.first_diff_index;
+    std::remove(ps.c_str());
+    std::remove(pp.c_str());
+  }
+}
+
+#if WSN_AUDIT_ENABLED
+TEST(Trace, AuditViolationDumpsTheFlightRecorder) {
+  Tracer tracer{Tracer::Options{
+      .path = "", .ring_capacity = 8, .seed = 77, .config_digest = 0}};
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    tracer.emit(RecordKind::kMacTxStart, sim::Time::nanos(i * 5), 1, 2, i, 0);
+  }
+
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  set_ring_dump_stream(sink);
+  sim::audit::set_abort_on_violation(false);
+  WSN_AUDIT_CHECK(false, "trace-test deliberate violation");
+  sim::audit::set_abort_on_violation(true);
+  set_ring_dump_stream(nullptr);
+  sim::audit::reset_violations();
+
+  std::fseek(sink, 0, SEEK_SET);
+  std::string contents;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, sink)) > 0) contents.append(buf, n);
+  std::fclose(sink);
+
+  EXPECT_NE(contents.find("flight recorder (seed 77): last 8 of 20 records"),
+            std::string::npos)
+      << contents;
+  EXPECT_NE(contents.find("mac.tx_start"), std::string::npos);
+}
+#endif
+
+}  // namespace
+}  // namespace wsn::trace

@@ -24,6 +24,13 @@ Rules (beyond what clang-tidy covers):
                       a bare make_shared silently reintroduces per-send heap
                       traffic. Setup-time or test-rig sites may annotate
                       with `lint:pool-ok` on the line or the line above.
+  R6  trace-emit      Trace emission in src/ (outside src/trace/) must go
+                      through WSN_TRACE_EMIT — no direct Tracer::emit calls
+                      or tracer() reads. The macro carries the traced-off
+                      guard; a bare emit runs its operands even when tracing
+                      is disabled. Deliberate sites (the accessor itself,
+                      batch guards around per-item loops) annotate with
+                      `lint:trace-ok` on the line or the line above.
 
 Exit status 0 when clean; 1 with one `path:line: [rule] message` per finding.
 """
@@ -40,6 +47,7 @@ CPP_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
 
 ALLOW_MARK = "lint:unordered-ok"
 POOL_MARK = "lint:pool-ok"
+TRACE_MARK = "lint:trace-ok"
 
 RNG_PATTERN = re.compile(
     r"\b(?:std::)?(?:mt19937(?:_64)?|minstd_rand0?|ranlux\d+(?:_base)?|"
@@ -53,6 +61,8 @@ UNORDERED_DECL_PATTERN = re.compile(
 RANGE_FOR_PATTERN = re.compile(r"\bfor\s*\(([^;]*?):([^)]*)\)")
 POOL_BYPASS_PATTERN = re.compile(
     r"\bstd::make_shared\s*<\s*[\w:]*?(?:Msg|Transmission)\s*>")
+TRACE_SINK_PATTERN = re.compile(
+    r"\btracer\s*\(\s*\)|(?:->|\.)\s*emit\s*\(")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -121,6 +131,7 @@ class Linter:
 
         in_sim = rel.startswith("src/")
         rng_exempt = rel.startswith("src/sim/random.")
+        trace_exempt = rel.startswith("src/trace/")
 
         for idx, (raw, clean) in enumerate(zip(lines, code), start=1):
             if not rng_exempt and RNG_PATTERN.search(clean):
@@ -135,6 +146,14 @@ class Linter:
                                 "bare std::make_shared of a pooled type; use "
                                 f"sim.arena().make<T>() or annotate with "
                                 f"{POOL_MARK} for setup-time sites")
+            if in_sim and not trace_exempt and TRACE_SINK_PATTERN.search(clean):
+                here = raw
+                above = lines[idx - 2] if idx >= 2 else ""
+                if TRACE_MARK not in here and TRACE_MARK not in above:
+                    self.report(path, idx, "trace-emit",
+                                "direct tracer sink access; use WSN_TRACE_EMIT "
+                                "(it carries the traced-off guard) or annotate "
+                                f"with {TRACE_MARK}")
             if in_sim and WALL_CLOCK_PATTERN.search(clean):
                 self.report(path, idx, "wall-clock",
                             "wall-clock read in sim code; use "
